@@ -1,0 +1,21 @@
+"""Ablation benchmark: time-sharing vs spatial vs spatiotemporal."""
+
+from repro.experiments import run_ablation_partitioning
+
+
+def test_ablation_partitioning(benchmark, save_report, bench_duration):
+    result = benchmark.pedantic(
+        run_ablation_partitioning,
+        kwargs={"duration_s": bench_duration},
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    accuracy = {r["system"]: r["accuracy"] for r in result.rows}
+    # Each design layer adds accuracy on a drifting scenario.
+    assert (
+        accuracy["DaCapo-Spatiotemporal"]
+        > accuracy["DaCapo-Ekya"] - 0.005
+    )
+    assert (
+        accuracy["DaCapo-Spatiotemporal"] >= accuracy["DaCapo-Spatial"]
+    )

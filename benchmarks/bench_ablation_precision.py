@@ -1,0 +1,24 @@
+"""Ablation benchmark: the MX precision tradeoff (workflow step 2)."""
+
+from repro.experiments import run_ablation_precision
+
+
+def test_ablation_precision(benchmark, save_report):
+    result = benchmark.pedantic(
+        run_ablation_precision, rounds=1, iterations=1
+    )
+    save_report(result)
+    by_fmt = {r["format"]: r for r in result.rows}
+    # Lower precision is faster on every kernel...
+    for metric in ("inference_fps", "labeling_sps", "training_sps"):
+        assert (
+            by_fmt["MX4"][metric]
+            > by_fmt["MX6"][metric]
+            > by_fmt["MX9"][metric]
+        )
+    # ...but numerically worse (which is why training uses MX9).
+    assert (
+        by_fmt["MX4"]["sqnr_db"]
+        < by_fmt["MX6"]["sqnr_db"]
+        < by_fmt["MX9"]["sqnr_db"]
+    )

@@ -1,0 +1,23 @@
+"""Ablation benchmark: array scaling and chiplet packaging (section VII-A)."""
+
+from repro.experiments import run_ablation_scaling
+
+
+def test_ablation_scaling(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation_scaling, rounds=1, iterations=1)
+    save_report(result)
+    by_config = {r["config"]: r for r in result.rows}
+
+    proto = by_config["16x16 (prototype)"]
+    big = by_config["32x32"]
+    # More DPEs mean more throughput and more power, sub-linearly on the
+    # throughput side (tiling skew + memory roofline).
+    assert big["training_sps"] > 2 * proto["training_sps"]
+    assert big["power_w"] > 2 * proto["power_w"]
+    assert big["inference_fps"] < 4 * proto["inference_fps"]
+
+    # Chiplets: linear power, near-linear throughput with coordination loss.
+    quad = by_config["4x 16x16 chiplets"]
+    assert quad["power_w"] == 4 * proto["power_w"]
+    assert quad["training_sps"] < 4 * proto["training_sps"]
+    assert quad["training_sps"] > 3 * proto["training_sps"]

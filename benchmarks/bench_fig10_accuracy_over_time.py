@@ -1,0 +1,35 @@
+"""Figure 10 benchmark: accuracy over time and the drift-case zooms.
+
+Shape assertions: DaCapo-Spatiotemporal's mean tracks at or above
+DaCapo-Spatial's; EOMU retrains more often than Ekya; there exist windows
+where Spatiotemporal leads Spatial substantially (drift recovery) --
+and typically also windows where it trails (the paper's suboptimal cases).
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig10
+
+
+def test_fig10(benchmark, save_report, bench_duration):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"duration_s": bench_duration},
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+
+    by_key = {(r["pair"], r["system"]): r for r in result.rows}
+    for pair in ("resnet18_wrn50", "resnet34_wrn101"):
+        st = by_key[(pair, "DaCapo-Spatiotemporal")]
+        sp = by_key[(pair, "DaCapo-Spatial")]
+        ekya = by_key[(pair, "OrinHigh-Ekya")]
+        eomu = by_key[(pair, "OrinHigh-EOMU")]
+
+        assert st["mean_acc"] >= sp["mean_acc"] - 0.01
+        assert eomu["retrainings"] > ekya["retrainings"]
+
+        series = result.extras["series"][pair]
+        gain = np.asarray(series["DaCapo-Spatiotemporal"]) - np.asarray(
+            series["DaCapo-Spatial"]
+        )
+        assert gain.max() > 0.05  # clear drift-recovery wins exist

@@ -1,0 +1,24 @@
+"""Figure 11 benchmark: temporal resource allocation decisions.
+
+Shape assertions: DaCapo-Spatiotemporal allocates a larger share of
+training-side time to labeling than DaCapo-Spatial, and improves accuracy,
+for every model pair (the paper reports +12.7% labeling share and +5.9%
+accuracy on average).
+"""
+
+from repro.experiments import run_fig11
+
+
+def test_fig11(benchmark, save_report, bench_duration):
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"duration_s": bench_duration},
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row["label_share_delta"] > 0.0, row
+        assert row["acc_improvement"] > -0.01, row
+    # On average the temporal policy must pay off.
+    mean_gain = sum(r["acc_improvement"] for r in result.rows) / 3
+    assert mean_gain > 0.0

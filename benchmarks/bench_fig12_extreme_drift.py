@@ -1,0 +1,26 @@
+"""Figure 12 benchmark: extreme data-drift scenarios.
+
+Shape assertions: DaCapo beats both EOMU and Ekya on ES1 and ES2, and
+EOMU retrains more frequently than Ekya (its drift tolerance mechanism).
+"""
+
+from repro.experiments import run_fig12
+
+
+def test_fig12(benchmark, save_report, bench_duration):
+    result = benchmark.pedantic(
+        run_fig12, kwargs={"duration_s": bench_duration},
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    by_key = {(r["scenario"], r["system"]): r for r in result.rows}
+    for scenario in ("ES1", "ES2"):
+        dacapo = by_key[(scenario, "DaCapo")]["accuracy"]
+        eomu = by_key[(scenario, "EOMU")]["accuracy"]
+        ekya = by_key[(scenario, "Ekya")]["accuracy"]
+        assert dacapo > eomu, (scenario, dacapo, eomu)
+        assert dacapo > ekya, (scenario, dacapo, ekya)
+        assert (
+            by_key[(scenario, "EOMU")]["retrainings"]
+            > by_key[(scenario, "Ekya")]["retrainings"]
+        )

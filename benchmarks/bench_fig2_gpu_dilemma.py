@@ -1,0 +1,45 @@
+"""Figure 2 benchmark: the GPU dilemma.
+
+Shape assertions: no frame drops on the RTX 3090; teacher drops frames on
+Orin; teacher beats the frozen student on the big GPU; Ekya recovers most
+of the gap on the RTX 3090 but falls behind on Orin.
+"""
+
+from repro.experiments import run_fig2
+
+
+def _lookup(rows, pair, platform, system):
+    return next(
+        r for r in rows
+        if r["pair"] == pair and r["platform"] == platform
+        and r["system"] == system
+    )
+
+
+def test_fig2(benchmark, save_report, bench_duration):
+    result = benchmark.pedantic(
+        run_fig2, kwargs={"duration_s": bench_duration},
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    rows = result.rows
+
+    for row in rows:
+        if row["platform"] == "RTX3090":
+            assert row["frame_drop_rate"] == 0.0
+
+    for pair in ("resnet18_wrn50", "resnet34_wrn101"):
+        teacher_orin = _lookup(rows, pair, "OrinHigh", "teacher")
+        assert teacher_orin["frame_drop_rate"] > 0.0
+
+        student_rtx = _lookup(rows, pair, "RTX3090", "student")
+        teacher_rtx = _lookup(rows, pair, "RTX3090", "teacher")
+        assert teacher_rtx["accuracy"] > student_rtx["accuracy"]
+
+        # Frame drops push Orin's teacher below the RTX 3090's.
+        teacher_gap = teacher_rtx["accuracy"] - teacher_orin["accuracy"]
+        assert teacher_gap > 0.05
+
+        ekya_rtx = _lookup(rows, pair, "RTX3090", "ekya")
+        ekya_orin = _lookup(rows, pair, "OrinHigh", "ekya")
+        assert ekya_rtx["accuracy"] >= ekya_orin["accuracy"] - 0.01

@@ -1,0 +1,27 @@
+"""Figure 3 benchmark: per-kernel FLOPs breakdown vs hyperparameters.
+
+Shape assertions: retraining's FLOPs share surges as sampling rate and
+epochs grow while inference's and labeling's shrink; total FLOPs increase
+monotonically.
+"""
+
+from repro.experiments import run_fig3
+
+
+def test_fig3(benchmark, save_report):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    save_report(result)
+    rows = result.rows
+    assert len(rows) == 3
+
+    retrain_shares = [r["retraining_share"] for r in rows]
+    inference_shares = [r["inference_share"] for r in rows]
+    totals = [r["total_tflops"] for r in rows]
+
+    assert retrain_shares == sorted(retrain_shares)
+    assert inference_shares == sorted(inference_shares, reverse=True)
+    assert totals == sorted(totals)
+    # The paper's qualitative end points: retraining grows from a minority
+    # share to the dominant share.
+    assert retrain_shares[0] < 0.5
+    assert retrain_shares[-1] > 0.6

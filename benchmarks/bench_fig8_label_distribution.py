@@ -1,0 +1,27 @@
+"""Figure 8 benchmark: label distributions across scenario segments."""
+
+import numpy as np
+
+from repro.data import ALL_CLASSES
+from repro.experiments import run_fig8
+
+
+def test_fig8(benchmark, save_report):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    save_report(result)
+    rows = result.rows
+    assert len(rows) == 10  # 600 s / 60 s segments
+
+    for row in rows:
+        shares = np.array([row[c] for c in ALL_CLASSES])
+        np.testing.assert_allclose(shares.sum(), 1.0, atol=1e-9)
+        # Traffic-only segments have zero mass outside the first 5 classes.
+        if "traffic_only" in row["domain"]:
+            assert shares[5:].sum() == 0.0
+
+    # The distributions genuinely differ across segments (the figure's
+    # point): at least two distinct label histograms appear.
+    histograms = {
+        tuple(np.round([row[c] for c in ALL_CLASSES], 2)) for row in rows
+    }
+    assert len(histograms) >= 2

@@ -1,0 +1,44 @@
+"""Figure 9 benchmark: the headline end-to-end accuracy matrix.
+
+Shape assertions (the paper's qualitative claims):
+
+- DaCapo-Spatiotemporal posts the best gmean for every model pair;
+- OrinLow-Ekya never posts the best gmean;
+- DaCapo-Ekya trails the partitioned DaCapo variants on the ViT pair
+  (precision sensitivity, section VII-B);
+- the geometry-drifting scenarios (S3-S6) separate systems more than the
+  label-only ones (S1-S2).
+"""
+
+from repro.experiments import run_fig9
+from repro.experiments.fig9 import FIG9_PAIRS, FIG9_SYSTEMS
+
+
+def test_fig9(benchmark, save_report, bench_duration):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"duration_s": bench_duration},
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    gmeans = {
+        (row["pair"], row["system"]): row["gmean"] for row in result.rows
+    }
+
+    for pair in FIG9_PAIRS:
+        ranked = sorted(
+            FIG9_SYSTEMS, key=lambda s: gmeans[(pair, s)], reverse=True
+        )
+        assert ranked[0] == "DaCapo-Spatiotemporal", (pair, ranked)
+        assert ranked[-1] in ("OrinLow-Ekya", "DaCapo-Ekya"), (pair, ranked)
+
+    # ViT precision sensitivity: time-shared DaCapo (all-MX execution,
+    # no dedicated partition) loses to the spatial variants.
+    assert (
+        gmeans[("vit_b32_b16", "DaCapo-Ekya")]
+        < gmeans[("vit_b32_b16", "DaCapo-Spatial")]
+    )
+
+    # Drift-heavy scenarios separate systems more than label-only ones.
+    for row in result.rows:
+        if row["system"] == "DaCapo-Spatiotemporal":
+            assert min(row["S1"], row["S2"]) > min(row["S4"], row["S5"])

@@ -1,0 +1,18 @@
+"""Headline-claims benchmark: accuracy gains and the 254x power ratio."""
+
+import pytest
+
+from repro.experiments import run_headline
+
+
+def test_headline(benchmark, save_report, bench_duration):
+    result = benchmark.pedantic(
+        run_headline, kwargs={"duration_s": bench_duration},
+        rounds=1, iterations=1,
+    )
+    save_report(result)
+    # Accuracy: DaCapo-Spatiotemporal leads both GPU baselines overall.
+    assert result.extras["dacapo"] > result.extras["ekya"]
+    assert result.extras["dacapo"] > result.extras["eomu"]
+    # Power: the 254x ratio is exact (Table IV).
+    assert result.extras["ratio_high"] == pytest.approx(254, rel=0.01)

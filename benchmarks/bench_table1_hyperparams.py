@@ -1,0 +1,13 @@
+"""Table I benchmark: hyperparameter table generation."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, save_report):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save_report(result)
+    symbols = {row["symbol"]: row["value"] for row in result.rows}
+    # Section VI-B relations.
+    assert symbols["Nv"] == symbols["Nt"] // 3
+    assert symbols["Nldd"] == 4 * symbols["Nl"]
+    assert symbols["Vthr"] < 0

@@ -1,0 +1,16 @@
+"""Table II benchmark: scenario construction."""
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark, save_report):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    save_report(result)
+    names = [row["name"] for row in result.rows]
+    assert names == ["S1", "S2", "S3", "S4", "S5", "S6", "ES1", "ES2"]
+    for row in result.rows:
+        # 20-minute 30 FPS streams with actual drift events.
+        assert row["frames"] == 36000
+        assert row["drifts"] >= 3
+    # Extreme scenarios compose all four drift types.
+    assert "Weather" in result.rows[-1]["drift_types"]

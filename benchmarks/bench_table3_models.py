@@ -1,0 +1,17 @@
+"""Table III benchmark: model statistics vs the paper's numbers."""
+
+import pytest
+
+from repro.experiments import run_table3
+
+
+def test_table3(benchmark, save_report):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    save_report(result)
+    for row in result.rows:
+        assert row["params_M"] == pytest.approx(
+            row["paper_params_M"], rel=0.005
+        )
+        assert row["gflops"] == pytest.approx(
+            row["paper_gflops"], rel=0.005
+        )

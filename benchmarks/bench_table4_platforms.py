@@ -1,0 +1,15 @@
+"""Table IV benchmark: platform specs and the power-ratio claims."""
+
+import pytest
+
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark, save_report):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    save_report(result)
+    assert result.extras["ratio_high"] == pytest.approx(254, rel=0.01)
+    assert result.extras["ratio_low"] == pytest.approx(127, rel=0.01)
+    dacapo = next(r for r in result.rows if r["device"] == "DaCapo")
+    assert dacapo["area_mm2"] == "2.501"
+    assert dacapo["power_w"] == "0.236"

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures, writes
+the formatted report to ``benchmarks/results/<experiment>.txt``, and
+asserts the *shape* properties the paper claims (orderings and ratios, not
+absolute values -- the substrate is a simulator, not the authors' testbed).
+
+Stream length is controlled by ``REPRO_BENCH_DURATION`` (seconds, default
+600).  Set it to 1200 to reproduce the paper's full 20-minute scenarios.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_duration() -> float:
+    """Scenario stream length used by the heavy end-to-end benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_DURATION", "600"))
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Write an experiment's report under ``benchmarks/results/``."""
+
+    def _save(result) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.name}.txt"
+        path.write_text(result.report)
+        return path
+
+    return _save

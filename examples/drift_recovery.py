@@ -1,0 +1,64 @@
+"""Drift detection and recovery: the temporal allocator at work.
+
+Runs DaCapo-Spatiotemporal and DaCapo-Spatial side by side on a scenario
+with geometry drifts and shows how the temporal policy -- drift detection,
+buffer reset, and escalated labeling (Nl -> Nldd) -- speeds up recovery.
+
+Run:
+    python examples/drift_recovery.py
+"""
+
+import numpy as np
+
+from repro.core import build_system, run_on_scenario
+from repro.data import build_scenario
+
+
+def main() -> None:
+    duration = 600.0
+    stream = build_scenario("S5", duration_s=duration)
+    print(f"scenario S5: {len(stream.segments)} segments, "
+          f"drifts at {[f'{t:.0f}s' for t in stream.drift_times()]}")
+
+    results = {}
+    for name in ("DaCapo-Spatial", "DaCapo-Spatiotemporal"):
+        system = build_system(name, "resnet18_wrn50")
+        results[name] = run_on_scenario(system, stream, seed=0)
+
+    st = results["DaCapo-Spatiotemporal"]
+    sp = results["DaCapo-Spatial"]
+
+    print(f"\nDaCapo-Spatial:        {sp.average_accuracy():.3f}")
+    print(f"DaCapo-Spatiotemporal: {st.average_accuracy():.3f}")
+    print(f"drifts detected by the temporal allocator: "
+          f"{[f'{t:.0f}s' for t in st.drift_detections()]}")
+
+    # Compare the accuracy trajectories around every detected drift.
+    starts, st_series = st.accuracy_series(window_s=15.0)
+    _, sp_series = sp.accuracy_series(window_s=15.0)
+    gain = st_series - sp_series
+
+    print("\ntime     spatial  spatiotemporal  gain")
+    for t, a, b, g in zip(starts, sp_series, st_series, gain):
+        marker = ""
+        if any(abs(t - d) < 30 for d in stream.drift_times()):
+            marker = "  <-- near drift"
+        print(f"{t:6.0f}s   {a:.3f}       {b:.3f}      {g:+.3f}{marker}")
+
+    best = int(np.argmax(gain))
+    print(
+        f"\nlargest recovery gain: +{gain[best]:.3f} in the window at "
+        f"{starts[best]:.0f}s"
+    )
+
+    # The escalation is visible in the phase trace: labeling phases right
+    # after a detection carry Nldd - Nl extra samples.
+    escalations = [
+        p for p in st.phases
+        if p.kind.value == "label" and p.samples > st.config.num_label
+    ]
+    print(f"escalated labeling phases (Nldd bursts): {len(escalations)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Offline hyperparameter tuning (paper section VI-D).
+
+The paper tunes the resource-allocation hyperparameters once per
+autonomous system by exhaustive offline search.  This example runs a small
+search for one model pair on two calibration scenarios and reports the
+ranked outcomes.
+
+Run:
+    python examples/hyperparameter_tuning.py
+"""
+
+from repro.core.tuning import tune_hyperparameters
+
+
+def main() -> None:
+    outcome = tune_hyperparameters(
+        "resnet18_wrn50",
+        scenarios=("S3", "S5"),
+        search_space={
+            "num_label": (256, 384),
+            "drift_threshold": (-0.12, -0.08, -0.05),
+        },
+        duration_s=240.0,
+    )
+
+    print("ranked configurations (mean accuracy over S3+S5):")
+    for config, score in outcome.trials:
+        print(
+            f"  Nl={config.num_label:4d}  Vthr={config.drift_threshold:+.2f}"
+            f"  -> {score:.3f}"
+        )
+    best = outcome.best
+    print(
+        f"\nchosen: Nl={best.num_label}, Vthr={best.drift_threshold} "
+        f"(score {outcome.best_score:.3f})"
+    )
+    print(
+        "The paper reports the tuned settings are robust across scenarios; "
+        "re-run with other calibration scenarios to check."
+    )
+
+
+if __name__ == "__main__":
+    main()

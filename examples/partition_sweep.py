@@ -1,0 +1,47 @@
+"""Spatial allocation explorer: sweep the T-SA/B-SA row split.
+
+For each student model, sweeps every possible partition of the 16x16 DPE
+array and reports the three kernel rates, marking the split the offline
+spatial allocator picks (minimum rows for B-SA to hold 30 FPS, everything
+else to T-SA).
+
+Run:
+    python examples/partition_sweep.py
+"""
+
+from repro.accelerator import AcceleratorSimulator, SystolicArray
+from repro.core.spatial import allocate_partition
+from repro.models import MODEL_PAIRS, get_model
+from repro.mx import MX6, MX9
+
+FRAME_RATE = 30.0
+
+
+def main() -> None:
+    array = SystolicArray()
+    sim = AcceleratorSimulator()
+
+    for pair in MODEL_PAIRS.values():
+        student = get_model(pair.student)
+        teacher = get_model(pair.teacher)
+        chosen = allocate_partition(array, student, FRAME_RATE)
+
+        print(f"\n=== pair {pair.name}: student {pair.student}, "
+              f"teacher {pair.teacher}")
+        print("rows_bsa | infer_fps | ok?  | label_sps (T-SA) | train_sps (T-SA)")
+        for rows_bsa in range(1, array.rows):
+            tsa, bsa = array.split(array.rows - rows_bsa)
+            fps = sim.inference_throughput(student, MX6, bsa, batch=1)
+            label = sim.inference_throughput(teacher, MX6, tsa, batch=8)
+            train = sim.training_throughput(student, MX9, tsa, batch=16)
+            mark = " <-- allocator" if rows_bsa == chosen.rows_bsa else ""
+            ok = "yes" if fps >= FRAME_RATE else "no"
+            print(
+                f"{rows_bsa:8d} | {fps:9.1f} | {ok:4s} | {label:16.1f} | "
+                f"{train:11.1f}{mark}"
+            )
+        print(f"allocator decision: {chosen.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: run DaCapo on a drifting driving scenario.
+
+Builds the full stack -- scenario stream, spatial allocation, student and
+teacher proxies, the spatiotemporal scheduler -- runs a five-minute stream,
+and prints what happened.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import build_system, run_on_scenario
+from repro.core.phases import PhaseKind
+
+
+def main() -> None:
+    # "S5" drifts label distribution, time of day, and location (Table II).
+    system = build_system("DaCapo-Spatiotemporal", "resnet18_wrn50")
+    print(f"spatial allocation: {system.platform.partition.describe()}")
+    print(
+        f"inference: {system.inference_fps:.1f} FPS on B-SA "
+        f"(stream is 30 FPS)"
+    )
+    print(
+        f"T-SA rates: labeling {system.labeling_sps():.1f} samples/s, "
+        f"retraining {system.training_sps():.1f} samples/s"
+    )
+
+    result = run_on_scenario(system, "S5", seed=0, duration_s=300)
+
+    print(f"\naverage accuracy: {result.average_accuracy():.3f}")
+    print(f"frame drops:      {result.frame_drop_rate:.1%}")
+    print(f"energy:           {result.energy_j:.1f} J "
+          f"({result.average_power_w:.3f} W)")
+    retrain, label = result.retrain_label_ratio()
+    print(f"T-SA time split:  {retrain:.0%} retraining / {label:.0%} labeling")
+
+    print("\nphase trace (first 12 phases):")
+    for phase in result.phases[:12]:
+        drift = "  <-- drift detected" if phase.drift_detected else ""
+        print(
+            f"  {phase.start_s:6.1f}s - {phase.end_s:6.1f}s  "
+            f"{phase.kind.value:8s} {phase.samples:5d} samples{drift}"
+        )
+
+    starts, series = result.accuracy_series(window_s=15.0)
+    print("\naccuracy over time (15 s windows):")
+    for t, acc in zip(starts, series):
+        bar = "#" * int(acc * 40)
+        print(f"  {t:6.0f}s  {acc:.2f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: a reproduction of DaCapo (ISCA 2024).
+
+DaCapo is a hardware/algorithm co-designed continuous-learning system for
+video analytics on autonomous systems.  This package implements the paper's
+full stack in Python:
+
+- :mod:`repro.mx` -- MX block-floating-point arithmetic (MX4/MX6/MX9).
+- :mod:`repro.accelerator` -- the spatially-partitionable, precision-flexible
+  DPE systolic-array accelerator model (timing, memory, power).
+- :mod:`repro.models` -- architectural specs of the six evaluated DNNs.
+- :mod:`repro.platform` -- GPU roofline baselines (Jetson Orin, RTX 3090) and
+  the DaCapo platform wrapper.
+- :mod:`repro.data` -- synthetic BDD100K-like drifting scenario generator.
+- :mod:`repro.learn` -- trainable numpy proxy models (student/teacher).
+- :mod:`repro.core` -- continuous-learning kernels, the spatiotemporal
+  resource-allocation algorithm (paper Algorithm 1), baselines, and the
+  end-to-end system simulator.
+- :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

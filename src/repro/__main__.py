@@ -1,0 +1,97 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+- ``list`` -- show available experiments, systems, scenarios, and pairs.
+- ``experiment <id>`` -- run one paper artifact and print its report.
+- ``run <system> <pair> <scenario>`` -- run one system and print a summary.
+- ``tune <pair>`` -- offline hyperparameter search (section VI-D).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import SYSTEM_BUILDERS, build_system, run_on_scenario
+from repro.core.tuning import tune_hyperparameters
+from repro.data.scenarios import SCENARIO_NAMES
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.models import MODEL_PAIRS
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("systems:    ", ", ".join(SYSTEM_BUILDERS))
+    print("scenarios:  ", ", ".join(SCENARIO_NAMES))
+    print("pairs:      ", ", ".join(MODEL_PAIRS))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    result = run_experiment(args.id, **kwargs)
+    print(result.report)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    system = build_system(args.system, args.pair, seed=args.seed)
+    result = run_on_scenario(
+        system, args.scenario, seed=args.seed, duration_s=args.duration
+    )
+    for key, value in result.summary().items():
+        print(f"{key:22s} {value}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    outcome = tune_hyperparameters(
+        args.pair, duration_s=args.duration or 300.0, seed=args.seed
+    )
+    print(f"best score: {outcome.best_score:.3f}")
+    print(f"best config: {outcome.best}")
+    print(f"trials evaluated: {len(outcome.trials)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DaCapo (ISCA 2024) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments/systems/scenarios/pairs")
+
+    p_exp = sub.add_parser("experiment", help="run one paper artifact")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--duration", type=float, default=None,
+                       help="stream seconds for end-to-end experiments")
+
+    p_run = sub.add_parser("run", help="run one system on one scenario")
+    p_run.add_argument("system", choices=list(SYSTEM_BUILDERS))
+    p_run.add_argument("pair", choices=list(MODEL_PAIRS))
+    p_run.add_argument("scenario", choices=list(SCENARIO_NAMES))
+    p_run.add_argument("--duration", type=float, default=None)
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_tune = sub.add_parser("tune", help="offline hyperparameter search")
+    p_tune.add_argument("pair", choices=list(MODEL_PAIRS))
+    p_tune.add_argument("--duration", type=float, default=None)
+    p_tune.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "run": _cmd_run,
+        "tune": _cmd_tune,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The DaCapo accelerator model (paper sections IV and V).
+
+A 16x16 array of Dot-Product Engines (DPEs), partitionable row-wise into a
+Top Sub-Accelerator (T-SA, retraining + labeling) and a Bottom Sub-
+Accelerator (B-SA, inference).  Each DPE executes 16-wide dot products over
+MX-compressed operands; MX4/MX6/MX9 serialize over 1/4/16 cycles through the
+hierarchical 2-bit multiplier tree (Figure 7).
+
+The model is analytical at the SCALE-Sim level (the abstraction the paper's
+own system simulator uses): output-stationary GEMM tiling for compute
+cycles, a DRAM bandwidth roofline for memory cycles, and a per-component
+power/area model matching Table IV.
+"""
+
+from repro.accelerator.dpe import DPE_LANES, DotProductEngine, cycles_per_dot
+from repro.accelerator.systolic import SystolicArray, SubAccelerator
+from repro.accelerator.partition import Partition
+from repro.accelerator.memory import MemoryInterface
+from repro.accelerator.conversion import PrecisionConversionUnit
+from repro.accelerator.gemm import backward_gemms, gemm_compute_cycles
+from repro.accelerator.layout import LayoutProgram, program_layout
+from repro.accelerator.power import (
+    DACAPO_AREA_MM2,
+    DACAPO_POWER_W,
+    PowerModel,
+    component_table,
+)
+from repro.accelerator.scaling import (
+    ChipletPackage,
+    scaled_array,
+    scaled_power_model,
+)
+from repro.accelerator.simulator import AcceleratorSimulator
+
+__all__ = [
+    "AcceleratorSimulator",
+    "DACAPO_AREA_MM2",
+    "DACAPO_POWER_W",
+    "DPE_LANES",
+    "DotProductEngine",
+    "MemoryInterface",
+    "Partition",
+    "PowerModel",
+    "PrecisionConversionUnit",
+    "SubAccelerator",
+    "SystolicArray",
+    "ChipletPackage",
+    "backward_gemms",
+    "component_table",
+    "cycles_per_dot",
+    "gemm_compute_cycles",
+    "LayoutProgram",
+    "program_layout",
+    "scaled_array",
+    "scaled_power_model",
+]

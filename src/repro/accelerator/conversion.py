@@ -1,0 +1,57 @@
+"""Precision-Conversion Unit (PCU) model -- paper section V-C.
+
+Each sub-accelerator owns a PCU that groups the FP32 outputs drained from
+the array into MX blocks of 16.  Inference and labeling need only the
+default row-major conversion; retraining additionally produces a
+column-major (transposed) copy for the gradient/weight-update GEMMs, which
+doubles the conversion work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mx import MXFormat
+
+__all__ = ["PrecisionConversionUnit"]
+
+#: Values converted per cycle: one MX block per cycle through the max-tree +
+#: shifter pipeline (Figure 6 datapath).
+_VALUES_PER_CYCLE = 16
+
+
+@dataclass(frozen=True)
+class PrecisionConversionUnit:
+    """Throughput model of one PCU.
+
+    Attributes:
+        values_per_cycle: Conversion throughput (one block per cycle).
+    """
+
+    values_per_cycle: int = _VALUES_PER_CYCLE
+
+    def __post_init__(self) -> None:
+        if self.values_per_cycle < 1:
+            raise ConfigurationError("values_per_cycle must be >= 1")
+
+    def cycles(
+        self, num_values: int, fmt: MXFormat, for_training: bool = False
+    ) -> int:
+        """Cycles to convert ``num_values`` FP32 outputs into ``fmt`` blocks.
+
+        Args:
+            num_values: FP32 values drained from the sub-accelerator.
+            fmt: Target MX format (conversion cost is format-independent,
+                 the argument documents intent and guards block size).
+            for_training: When True the column-major copy for transposed
+                 operands is produced as well, doubling the work.
+        """
+        if num_values < 0:
+            raise ConfigurationError("num_values must be non-negative")
+        if fmt.block_size != self.values_per_cycle:
+            raise ConfigurationError(
+                "PCU block width must match the MX block size"
+            )
+        passes = 2 if for_training else 1
+        return passes * -(-num_values // self.values_per_cycle)

@@ -1,0 +1,76 @@
+"""GEMM timing on a sub-accelerator (SCALE-Sim-style analytical model).
+
+The paper's RTL prototype is output-stationary ("While we can support both
+weight and output stationary designs, we employ output stationary",
+section V-A); both dataflows are modeled here:
+
+- **Output stationary** (default): each DPE owns one output element and
+  contracts a length-``K`` dot product in ``ceil(K/16)`` block dot-products
+  of ``cycles_per_dot(fmt)`` cycles, over ``ceil(M/R) * ceil(N/C)`` output
+  tiles, plus an ``R + C - 2`` wavefront fill/drain skew per tile.
+- **Weight stationary**: a ``ceil(K/(16*R)) x ceil(N/C)`` grid of weight
+  tiles stays resident while all ``M`` activation rows stream through each
+  tile; per tile that costs ``M * cycles_per_dot(fmt)`` streaming cycles
+  (each row contracts one 16-wide block dot against the resident weights)
+  plus the same skew.  For ``M`` large relative to the tile grid the two
+  dataflows converge; weight-stationary wins when weights are reused by
+  many rows, output-stationary when outputs dominate.
+
+Training executes, per forward GEMM, two additional backward GEMMs
+(input gradients ``dX = dY @ W^T`` and weight gradients ``dW = X^T @ dY``),
+which is also where the paper's 3x training FLOPs accounting comes from.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, PartitionError
+from repro.accelerator.dpe import DPE_LANES, cycles_per_dot
+from repro.accelerator.systolic import SubAccelerator
+from repro.models.layers import Gemm
+from repro.mx import MXFormat
+
+__all__ = ["gemm_compute_cycles", "backward_gemms", "DATAFLOWS"]
+
+#: Supported dataflow names.
+DATAFLOWS = ("output_stationary", "weight_stationary")
+
+
+def gemm_compute_cycles(
+    gemm: Gemm,
+    fmt: MXFormat,
+    sub: SubAccelerator,
+    dataflow: str = "output_stationary",
+) -> int:
+    """Compute-side cycles for one GEMM on one sub-accelerator.
+
+    Raises:
+        PartitionError: If the sub-accelerator has no rows.
+        ConfigurationError: For an unknown dataflow.
+    """
+    if sub.is_empty:
+        raise PartitionError(f"{sub.name} has no rows; cannot execute GEMMs")
+    skew = sub.rows + sub.cols - 2
+    if dataflow == "output_stationary":
+        tiles_m = -(-gemm.m // sub.rows)
+        tiles_n = -(-gemm.n // sub.cols)
+        dots = -(-gemm.k // DPE_LANES)
+        tile_cycles = dots * cycles_per_dot(fmt) + skew
+        return tiles_m * tiles_n * tile_cycles
+    if dataflow == "weight_stationary":
+        tiles_k = -(-gemm.k // (DPE_LANES * sub.rows))
+        tiles_n = -(-gemm.n // sub.cols)
+        tile_cycles = gemm.m * cycles_per_dot(fmt) + skew
+        return tiles_k * tiles_n * tile_cycles
+    raise ConfigurationError(
+        f"unknown dataflow {dataflow!r}; expected one of {DATAFLOWS}"
+    )
+
+
+def backward_gemms(gemm: Gemm) -> tuple[Gemm, Gemm]:
+    """The two backward GEMMs induced by a forward ``M x K x N`` GEMM.
+
+    Returns:
+        ``(dX, dW)`` where ``dX`` is ``M x N x K`` (``dY @ W^T``) and ``dW``
+        is ``K x M x N`` (``X^T @ dY``).
+    """
+    return Gemm(gemm.m, gemm.n, gemm.k), Gemm(gemm.k, gemm.m, gemm.n)

@@ -1,0 +1,136 @@
+"""Programmable memory-interface layout programs (paper section V-A).
+
+When the spatial allocator commits a partition, the memory interface is
+reprogrammed so each sub-accelerator's operands land in the right buffers
+with the right majorness: weights and outputs flow vertically in both
+directions (buffers at the top for T-SA, at the bottom for B-SA), inputs
+stream horizontally, and training additionally needs column-major
+(transposed) copies of activations and output gradients for the backward
+GEMMs (section V-C).
+
+:func:`program_layout` builds the declarative plan the interface would
+execute; it is what the paper means by "once our resource allocation
+algorithm determines the row assignments ... it also reprograms the memory
+interface".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.accelerator.partition import Partition
+from repro.errors import PartitionError
+from repro.mx import MXFormat
+
+__all__ = ["BufferSite", "Majorness", "OperandPlacement", "LayoutProgram",
+           "program_layout"]
+
+
+class BufferSite(enum.Enum):
+    """Physical buffer location on the chip edge."""
+
+    TOP = "top"
+    BOTTOM = "bottom"
+    WEST = "west"
+
+
+class Majorness(enum.Enum):
+    """Storage order of a tensor in its buffer."""
+
+    ROW_MAJOR = "row_major"
+    COLUMN_MAJOR = "column_major"
+
+
+@dataclass(frozen=True)
+class OperandPlacement:
+    """Where and how one operand class is staged.
+
+    Attributes:
+        operand: ``"input"``, ``"weight"``, or ``"output"``.
+        site: Buffer location.
+        majorness: Storage order.
+        fmt: MX format of the stored blocks (outputs are FP32 before the
+            PCU re-blocks them; the placement records the post-PCU format).
+    """
+
+    operand: str
+    site: BufferSite
+    majorness: Majorness
+    fmt: MXFormat
+
+
+@dataclass(frozen=True)
+class LayoutProgram:
+    """The full layout plan for one sub-accelerator and kernel.
+
+    Attributes:
+        sub_accelerator: ``"T-SA"`` or ``"B-SA"``.
+        kernel: ``"inference"``, ``"labeling"``, or ``"retraining"``.
+        placements: One placement per staged operand.
+    """
+
+    sub_accelerator: str
+    kernel: str
+    placements: tuple[OperandPlacement, ...]
+
+    def placement(self, operand: str) -> OperandPlacement:
+        """Look up the placement of one operand class."""
+        for candidate in self.placements:
+            if candidate.operand == operand:
+                return candidate
+        raise PartitionError(
+            f"{self.sub_accelerator}/{self.kernel}: no operand {operand!r}"
+        )
+
+
+def program_layout(
+    partition: Partition,
+    kernel: str,
+    fmt: MXFormat,
+) -> LayoutProgram:
+    """Build the memory-interface program for a kernel on its partition.
+
+    Inference runs on B-SA (weight/output buffers at the bottom edge);
+    labeling and retraining run on T-SA (top edge).  Retraining adds the
+    column-major activation/output copies required for the backward pass.
+
+    Raises:
+        PartitionError: If the kernel's sub-accelerator has no rows.
+    """
+    if kernel == "inference":
+        sub, edge = partition.bsa, BufferSite.BOTTOM
+    elif kernel in ("labeling", "retraining"):
+        sub, edge = partition.tsa, BufferSite.TOP
+    else:
+        raise PartitionError(
+            f"unknown kernel {kernel!r}; expected inference, labeling, "
+            "or retraining"
+        )
+    if sub.is_empty:
+        raise PartitionError(
+            f"{sub.name} has no rows; cannot program layout for {kernel}"
+        )
+
+    placements = [
+        OperandPlacement("input", BufferSite.WEST, Majorness.ROW_MAJOR, fmt),
+        OperandPlacement("weight", edge, Majorness.ROW_MAJOR, fmt),
+        OperandPlacement("output", edge, Majorness.ROW_MAJOR, fmt),
+    ]
+    if kernel == "retraining":
+        # Transposed copies for dX = dY @ W^T and dW = X^T @ dY.
+        placements.append(
+            OperandPlacement(
+                "input_transposed", edge, Majorness.COLUMN_MAJOR, fmt
+            )
+        )
+        placements.append(
+            OperandPlacement(
+                "output_transposed", edge, Majorness.COLUMN_MAJOR, fmt
+            )
+        )
+    return LayoutProgram(
+        sub_accelerator=sub.name,
+        kernel=kernel,
+        placements=tuple(placements),
+    )

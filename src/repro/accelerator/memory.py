@@ -1,0 +1,93 @@
+"""Off-chip memory model and MX-aware byte accounting.
+
+DaCapo attaches LPDDR5 at 204.8 GB/s (Table IV, matching the Jetson Orin for
+a fair comparison) and keeps a 96 KB on-chip SRAM.  The programmable memory
+interface lays tensors out as packed MX blocks, so traffic is computed from
+:meth:`repro.mx.MXFormat.bytes_for`.
+
+The timing model is a roofline: compute and (double-buffered) memory streams
+overlap, so a GEMM costs ``max(compute_cycles, memory_cycles)``.  Tiles whose
+working set exceeds the SRAM incur re-fetch traffic, modeled as a traffic
+multiplier on the ideal stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.layers import Gemm
+from repro.mx import MXFormat
+
+__all__ = ["MemoryInterface", "gemm_traffic_bytes"]
+
+#: DaCapo prototype memory system (paper Table IV).
+DEFAULT_DRAM_BANDWIDTH = 204.8e9  # bytes/second
+DEFAULT_SRAM_BYTES = 96 * 1024
+
+#: FP32 output words drained before precision conversion.
+_OUTPUT_BYTES_PER_VALUE = 4
+
+
+def gemm_traffic_bytes(gemm: Gemm, fmt: MXFormat) -> int:
+    """Ideal DRAM traffic for one GEMM: stream A and B once, drain C once.
+
+    Inputs and weights move as packed MX blocks; outputs drain as FP32 before
+    the precision-conversion unit re-blocks them (section V-C).
+    """
+    input_bytes = fmt.bytes_for(gemm.m * gemm.k)
+    weight_bytes = fmt.bytes_for(gemm.k * gemm.n)
+    output_bytes = gemm.m * gemm.n * _OUTPUT_BYTES_PER_VALUE
+    return input_bytes + weight_bytes + output_bytes
+
+
+@dataclass(frozen=True)
+class MemoryInterface:
+    """DRAM bandwidth + SRAM capacity model.
+
+    Attributes:
+        dram_bandwidth: Sustained off-chip bandwidth in bytes/second.
+        sram_bytes: On-chip buffer capacity shared by the two SAs.
+    """
+
+    dram_bandwidth: float = DEFAULT_DRAM_BANDWIDTH
+    sram_bytes: int = DEFAULT_SRAM_BYTES
+
+    def __post_init__(self) -> None:
+        if self.dram_bandwidth <= 0:
+            raise ConfigurationError("dram_bandwidth must be positive")
+        if self.sram_bytes <= 0:
+            raise ConfigurationError("sram_bytes must be positive")
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Time to stream ``num_bytes`` at full bandwidth."""
+        if num_bytes < 0:
+            raise ConfigurationError("byte count must be non-negative")
+        return num_bytes / self.dram_bandwidth
+
+    def transfer_cycles(self, num_bytes: float, frequency_hz: float) -> float:
+        """The same transfer expressed in accelerator cycles."""
+        return self.transfer_seconds(num_bytes) * frequency_hz
+
+    def refetch_factor(self, gemm: Gemm, fmt: MXFormat) -> float:
+        """Traffic multiplier when a GEMM's working set overflows the SRAM.
+
+        With weights resident, streaming A row-panels needs the B operand
+        (weights) on chip; if the packed weight panel exceeds half the SRAM
+        (the other half double-buffers activations), the weight matrix is
+        re-streamed once per additional panel-sized chunk.
+        """
+        weight_bytes = fmt.bytes_for(gemm.k * gemm.n)
+        budget = self.sram_bytes / 2
+        if weight_bytes <= budget:
+            return 1.0
+        return float(-(-weight_bytes // budget))
+
+    def gemm_memory_cycles(
+        self, gemm: Gemm, fmt: MXFormat, frequency_hz: float
+    ) -> float:
+        """Memory-side cycles for one GEMM, re-fetch traffic included."""
+        ideal = gemm_traffic_bytes(gemm, fmt)
+        weight_bytes = fmt.bytes_for(gemm.k * gemm.n)
+        extra = (self.refetch_factor(gemm, fmt) - 1.0) * weight_bytes
+        return self.transfer_cycles(ideal + extra, frequency_hz)

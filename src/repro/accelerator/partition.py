@@ -1,0 +1,60 @@
+"""Spatial partition descriptor: the T-SA / B-SA row split.
+
+This is the object the offline spatial allocator produces (paper workflow
+step 3) and the runtime scheduler consumes: B-SA rows are pinned to
+inference; T-SA rows time-share retraining and labeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+from repro.accelerator.systolic import SubAccelerator, SystolicArray
+
+__all__ = ["Partition"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A committed two-way split of the array.
+
+    Attributes:
+        array: The physical array being partitioned.
+        rows_tsa: Rows assigned to the Top Sub-Accelerator (``Rtsa``).
+    """
+
+    array: SystolicArray
+    rows_tsa: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rows_tsa <= self.array.rows:
+            raise PartitionError(
+                f"rows_tsa={self.rows_tsa} outside [0, {self.array.rows}]"
+            )
+
+    @property
+    def rows_bsa(self) -> int:
+        """Rows assigned to the Bottom Sub-Accelerator (``Rbsa``)."""
+        return self.array.rows - self.rows_tsa
+
+    @property
+    def tsa(self) -> SubAccelerator:
+        """The retraining/labeling sub-accelerator."""
+        return SubAccelerator(
+            "T-SA", self.rows_tsa, self.array.cols, self.array.frequency_hz
+        )
+
+    @property
+    def bsa(self) -> SubAccelerator:
+        """The inference sub-accelerator."""
+        return SubAccelerator(
+            "B-SA", self.rows_bsa, self.array.cols, self.array.frequency_hz
+        )
+
+    def describe(self) -> str:
+        """Short human-readable split description."""
+        return (
+            f"T-SA {self.rows_tsa} rows / B-SA {self.rows_bsa} rows "
+            f"of {self.array.rows}x{self.array.cols}"
+        )

@@ -1,0 +1,101 @@
+"""Array-scaling and chiplet models (paper section VII-A).
+
+The prototype is a deliberately tiny 16x16 chip; the paper notes DaCapo
+"could scale the number of DPEs to larger configurations (e.g., 32x32) or
+multiple DaCapo chiplets could be packaged together if there is a need".
+This module provides both scaling paths:
+
+- :func:`scaled_array` -- a monolithic RxC configuration, with power/area
+  scaled from the Table IV component model (DPE array scales with the DPE
+  count; SRAM, vector units, and conversion scale with rows; the memory
+  interface is shared).
+- :class:`ChipletPackage` -- N chips behind one package; kernel throughput
+  scales with chip count derated by an inter-chiplet coordination factor,
+  power scales linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.power import Component, PowerModel, component_table
+from repro.accelerator.systolic import SystolicArray
+from repro.errors import ConfigurationError
+
+__all__ = ["scaled_array", "scaled_power_model", "ChipletPackage"]
+
+_BASE_ROWS = 16
+_BASE_COLS = 16
+
+
+def scaled_array(
+    rows: int, cols: int, frequency_hz: float = 500e6
+) -> SystolicArray:
+    """A monolithic DaCapo configuration of ``rows x cols`` DPEs."""
+    return SystolicArray(rows=rows, cols=cols, frequency_hz=frequency_hz)
+
+
+def scaled_power_model(rows: int, cols: int) -> PowerModel:
+    """Table IV's component model scaled to a ``rows x cols`` array.
+
+    The DPE array's power/area scale with the DPE count; SRAM, vector
+    units, and precision conversion scale with the row count (per-row
+    buffering and drain bandwidth); the memory interface is shared.
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("array dimensions must be >= 1")
+    dpe_scale = (rows * cols) / (_BASE_ROWS * _BASE_COLS)
+    row_scale = rows / _BASE_ROWS
+    scaled: list[Component] = []
+    for component in component_table():
+        if component.name == "dpe_array":
+            factor = dpe_scale
+        elif component.name == "memory_interface":
+            factor = 1.0
+        else:
+            factor = row_scale
+        scaled.append(
+            Component(
+                component.name,
+                power_w=component.power_w * factor,
+                area_mm2=component.area_mm2 * factor,
+            )
+        )
+    return PowerModel(components=tuple(scaled))
+
+
+@dataclass(frozen=True)
+class ChipletPackage:
+    """Several DaCapo chips packaged together.
+
+    Attributes:
+        chips: Number of chiplets.
+        coordination_efficiency: Throughput retained per chip when work is
+            spread across the package (inter-chiplet synchronization and
+            data distribution overhead).
+    """
+
+    chips: int
+    coordination_efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.chips < 1:
+            raise ConfigurationError("package needs at least one chip")
+        if not 0 < self.coordination_efficiency <= 1:
+            raise ConfigurationError(
+                "coordination efficiency must be in (0, 1]"
+            )
+
+    def throughput_scale(self) -> float:
+        """Aggregate throughput relative to a single chip."""
+        if self.chips == 1:
+            return 1.0
+        return self.chips * self.coordination_efficiency
+
+    def power_w(self) -> float:
+        """Package power (chips are replicated, including their leakage)."""
+        return self.chips * PowerModel().total_power_w
+
+    def area_mm2(self) -> float:
+        """Total silicon area across the package."""
+        return self.chips * PowerModel().total_area_mm2

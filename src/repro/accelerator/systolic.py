@@ -1,0 +1,108 @@
+"""Systolic-array geometry and its row-granular sub-accelerators.
+
+The DaCapo prototype is a 16x16 array of DPEs at 500 MHz (paper Table IV).
+Rows can be grouped into two stacked sub-accelerators (T-SA on top, B-SA on
+the bottom); weights and outputs flow vertically in both directions so the
+two partitions run independent GEMMs without interference (section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+
+__all__ = ["SystolicArray", "SubAccelerator"]
+
+#: DaCapo prototype geometry (paper section VII-A).
+DEFAULT_ROWS = 16
+DEFAULT_COLS = 16
+DEFAULT_FREQUENCY_HZ = 500e6
+
+
+@dataclass(frozen=True)
+class SubAccelerator:
+    """A contiguous group of DPE rows operating as one systolic array.
+
+    Attributes:
+        name: ``"T-SA"`` or ``"B-SA"`` (or ``"FULL"`` when unpartitioned).
+        rows: DPE rows assigned to this sub-accelerator.
+        cols: DPE columns (always the full array width).
+        frequency_hz: Clock frequency.
+    """
+
+    name: str
+    rows: int
+    cols: int = DEFAULT_COLS
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.cols < 1:
+            raise PartitionError(
+                f"{self.name}: invalid geometry {self.rows}x{self.cols}"
+            )
+        if self.frequency_hz <= 0:
+            raise PartitionError(f"{self.name}: frequency must be positive")
+
+    @property
+    def num_dpes(self) -> int:
+        """DPEs available to this sub-accelerator."""
+        return self.rows * self.cols
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no rows are assigned (the SA cannot compute)."""
+        return self.rows == 0
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds."""
+        return cycles / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """The full DPE array, before partitioning.
+
+    Attributes:
+        rows / cols: Array geometry (prototype: 16x16).
+        frequency_hz: Clock (prototype: 500 MHz).
+    """
+
+    rows: int = DEFAULT_ROWS
+    cols: int = DEFAULT_COLS
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise PartitionError(
+                f"invalid array geometry {self.rows}x{self.cols}"
+            )
+        if self.frequency_hz <= 0:
+            raise PartitionError("frequency must be positive")
+
+    @property
+    def num_dpes(self) -> int:
+        """Total DPEs in the array."""
+        return self.rows * self.cols
+
+    def full(self) -> SubAccelerator:
+        """The whole array viewed as a single sub-accelerator."""
+        return SubAccelerator(
+            "FULL", self.rows, self.cols, self.frequency_hz
+        )
+
+    def split(self, rows_tsa: int) -> tuple[SubAccelerator, SubAccelerator]:
+        """Partition into (T-SA, B-SA) with ``rows_tsa`` rows on top.
+
+        Raises:
+            PartitionError: If ``rows_tsa`` is outside ``[0, rows]``.
+        """
+        if not 0 <= rows_tsa <= self.rows:
+            raise PartitionError(
+                f"rows_tsa must be within [0, {self.rows}], got {rows_tsa}"
+            )
+        tsa = SubAccelerator("T-SA", rows_tsa, self.cols, self.frequency_hz)
+        bsa = SubAccelerator(
+            "B-SA", self.rows - rows_tsa, self.cols, self.frequency_hz
+        )
+        return tsa, bsa

@@ -1,0 +1,233 @@
+"""Baseline continuous-learning systems (paper section VII-A).
+
+- :class:`FixedWindowSystem` -- Ekya's scheduling shape: a fixed window,
+  retraining at the window start on the buffered samples, labeling for the
+  remainder.  Running it on a GPU platform gives OrinLow/High-Ekya; on the
+  time-shared DaCapo platform it gives DaCapo-Ekya; on the partitioned
+  platform it gives DaCapo-Spatial (static spatial allocation, no temporal
+  adaptation).
+- :class:`EomuSystem` -- EOMU's shape: short monitoring windows (10 s per
+  the paper), labeling a small probe every window, and *triggering*
+  retraining only when the student's agreement with the teacher degrades.
+- :class:`NoRetrainSystem` -- a frozen model (student or teacher) running
+  plain inference: Figure 2's non-continuous-learning bars.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.config import DaCapoConfig
+from repro.core.phases import PhaseKind
+from repro.core.system import CLSystemBase, PhaseStep
+from repro.data.stream import FrameWindow
+from repro.errors import ConfigurationError
+from repro.learn.student import StudentModel
+from repro.learn.teacher import TeacherModel
+from repro.models.zoo import ModelPair
+from repro.platform.base import Platform
+
+__all__ = ["FixedWindowSystem", "EomuSystem", "NoRetrainSystem"]
+
+#: Ekya's retraining window (seconds).
+EKYA_WINDOW_S = 120.0
+
+#: EOMU's monitoring window (paper: 10 seconds).
+EOMU_WINDOW_S = 10.0
+
+#: EOMU probe size per monitoring window.
+EOMU_PROBE_LABELS = 48
+
+#: EOMU triggers retraining when agreement falls this far below its
+#: exponential moving average.
+EOMU_TRIGGER_DROP = 0.03
+
+#: EOMU retrains briefly (shorter than Ekya) once triggered.
+EOMU_RETRAIN_SAMPLES = 128
+EOMU_EMA_ALPHA = 0.5
+
+
+#: Fraction of stream frames Ekya samples for labeling each window.
+EKYA_SAMPLING_RATE = 0.10
+
+
+class FixedWindowSystem(CLSystemBase):
+    """Ekya-style fixed-window scheduler.
+
+    Every window: retrain on the sample buffer (if populated), then label a
+    fixed sampling-rate subset of the window's frames (bounded by labeling
+    throughput).  No drift reaction -- window boundaries are the only
+    adaptation granularity, which is exactly the limitation the paper's
+    temporal allocator removes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: Platform,
+        pair: ModelPair,
+        student: StudentModel,
+        teacher: TeacherModel | None,
+        config: DaCapoConfig,
+        window_s: float = EKYA_WINDOW_S,
+        sampling_rate: float = EKYA_SAMPLING_RATE,
+    ) -> None:
+        super().__init__(name, platform, pair, student, teacher, config)
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        if not 0 < sampling_rate <= 1:
+            raise ConfigurationError("sampling rate must be in (0, 1]")
+        self.window_s = window_s
+        self.sampling_rate = sampling_rate
+
+    def phase_generator(
+        self, frames: FrameWindow, rng: np.random.Generator
+    ) -> Iterator[PhaseStep]:
+        while True:
+            used = 0.0
+            # Retraining must fit the window; what does not fit is cut
+            # (incomplete models under resource starvation, as on OrinLow).
+            step, _ = self.do_retrain(rng, max_duration_s=self.window_s)
+            if step is not None:
+                used = step.duration_s
+                yield step
+            remaining = self.window_s - used
+            if remaining <= 0:
+                continue
+            sps = self.labeling_sps()
+            target = int(
+                self.sampling_rate * self.config.frame_rate * remaining
+            )
+            num_label = min(target, int(sps * remaining)) if sps > 0 else 0
+            if num_label < 1:
+                yield PhaseStep(PhaseKind.IDLE, remaining)
+                continue
+            step, _ = self.do_label(frames, num_label, rng)
+            label_time = min(step.duration_s, remaining)
+            step.duration_s = label_time
+            # Idle first, then label at the window tail so the freshest
+            # samples feed the next window's retraining.
+            if remaining - label_time > 1e-9:
+                yield PhaseStep(PhaseKind.IDLE, remaining - label_time)
+            yield step
+
+
+class EomuSystem(CLSystemBase):
+    """EOMU-style short-window triggered retraining.
+
+    Each 10-second window labels a small probe of fresh frames (feeding the
+    buffer) and tracks the student-teacher agreement.  A drop below the
+    agreement's moving average triggers a short retraining in the next
+    window -- frequent small retrainings, as Figure 10's dense markers show.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: Platform,
+        pair: ModelPair,
+        student: StudentModel,
+        teacher: TeacherModel | None,
+        config: DaCapoConfig,
+        window_s: float = EOMU_WINDOW_S,
+    ) -> None:
+        super().__init__(name, platform, pair, student, teacher, config)
+        if window_s <= 0:
+            raise ConfigurationError("window must be positive")
+        self.window_s = window_s
+        self._agreement_ema: float | None = None
+        self._retrain_pending = False
+
+    def phase_generator(
+        self, frames: FrameWindow, rng: np.random.Generator
+    ) -> Iterator[PhaseStep]:
+        config = self.config
+        while True:
+            if self._retrain_pending and len(self.buffer) >= 16:
+                self._retrain_pending = False
+                (x_train, y_train), _ = self.buffer.draw(
+                    EOMU_RETRAIN_SAMPLES, 1, rng
+                )
+                # Retraining is squeezed into one monitoring window; the
+                # samples that do not fit are dropped (incomplete models).
+                duration = self.retrain_duration_s(len(x_train), 0)
+                if duration > self.window_s:
+                    keep = max(
+                        16, int(len(x_train) * self.window_s / duration)
+                    )
+                    x_train, y_train = x_train[:keep], y_train[:keep]
+                    duration = min(
+                        self.retrain_duration_s(len(x_train), 0),
+                        self.window_s,
+                    )
+
+                def commit(t0: float, t1: float) -> bool:
+                    self.student.retrain(
+                        x_train,
+                        y_train,
+                        epochs=1,
+                        rng=rng,
+                        learning_rate=config.learning_rate,
+                        batch_size=config.batch_size,
+                    )
+                    return False
+
+                yield PhaseStep(
+                    PhaseKind.RETRAIN, duration, len(x_train), commit
+                )
+
+            # Monitoring window: probe-label fresh frames.
+            probe = EOMU_PROBE_LABELS
+            step, outcome = self.do_label(frames, probe, rng)
+            step.duration_s = self.window_s
+            yield step
+            accl = outcome.get("accl")
+            if accl is not None:
+                if (
+                    self._agreement_ema is not None
+                    and accl < self._agreement_ema - EOMU_TRIGGER_DROP
+                ):
+                    self._retrain_pending = True
+                if self._agreement_ema is None:
+                    self._agreement_ema = accl
+                else:
+                    self._agreement_ema = (
+                        EOMU_EMA_ALPHA * accl
+                        + (1 - EOMU_EMA_ALPHA) * self._agreement_ema
+                    )
+
+
+class NoRetrainSystem(CLSystemBase):
+    """A frozen model running plain inference (no continuous learning).
+
+    Used for Figure 2's Student/Teacher bars.  When ``deploy_teacher`` is
+    True, the ``student`` argument is expected to wrap the *teacher's*
+    weights, and the frame-drop rate is computed from the teacher's
+    architecture (deploying a heavyweight model is exactly what causes the
+    Orin frame drops in Figure 2).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: Platform,
+        pair: ModelPair,
+        student: StudentModel,
+        teacher: TeacherModel | None,
+        config: DaCapoConfig,
+        deploy_teacher: bool = False,
+    ) -> None:
+        super().__init__(name, platform, pair, student, teacher, config)
+        if deploy_teacher:
+            graph = pair.teacher_graph()
+            self.inference_fps = platform.inference_rate(graph)
+            self.drop_rate = max(
+                0.0, 1.0 - self.inference_fps / config.frame_rate
+            )
+
+    def phase_generator(
+        self, frames: FrameWindow, rng: np.random.Generator
+    ) -> Iterator[PhaseStep]:
+        return iter(())  # no training-side phases at all

@@ -1,0 +1,235 @@
+"""System factory and experiment-running helpers.
+
+``build_system`` assembles any of the paper's evaluated systems by name for
+a given model pair; ``run_on_scenario`` executes it over a Table II
+scenario.  The system names match the paper's Figure 9 legend:
+
+========================  =====================================================
+Name                      Meaning
+========================  =====================================================
+``OrinLow-Ekya``          Ekya scheduling on Jetson Orin at 30 W
+``OrinHigh-Ekya``         Ekya scheduling on Jetson Orin at 60 W
+``OrinHigh-EOMU``         EOMU scheduling on Jetson Orin at 60 W
+``DaCapo-Ekya``           Ekya scheduling on time-shared DaCapo hardware
+``DaCapo-Spatial``        fixed-window scheduling on partitioned DaCapo
+``DaCapo-Spatiotemporal`` Algorithm 1 on partitioned DaCapo
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.accelerator import SystolicArray
+from repro.core.baselines import (
+    EomuSystem,
+    FixedWindowSystem,
+    NoRetrainSystem,
+)
+from repro.core.config import DaCapoConfig
+from repro.core.results import RunResult
+from repro.core.spatial import allocate_partition
+from repro.core.system import CLSystemBase, DaCapoSystem
+from repro.data.scenarios import build_scenario
+from repro.data.stream import ScenarioStream
+from repro.errors import ConfigurationError
+from repro.learn.student import StudentModel, make_student
+from repro.learn.teacher import make_teacher
+from repro.models.zoo import ModelPair, get_pair
+from repro.mx import MX6, MX9
+from repro.platform import (
+    DaCapoPlatform,
+    DaCapoTimeShared,
+    jetson_orin_high,
+    jetson_orin_low,
+    rtx_3090,
+)
+from repro.platform.base import Platform
+
+__all__ = [
+    "SYSTEM_BUILDERS",
+    "build_system",
+    "build_fig2_system",
+    "run_on_scenario",
+]
+
+
+def _dacapo_platform(pair: ModelPair, config: DaCapoConfig) -> DaCapoPlatform:
+    """Partitioned DaCapo platform via the offline spatial allocator."""
+    partition = allocate_partition(
+        SystolicArray(), pair.student_graph(), config.frame_rate, MX6
+    )
+    return DaCapoPlatform(partition=partition)
+
+
+def _make_models(
+    pair: ModelPair, on_dacapo: bool, seed: int
+) -> tuple[StudentModel, object]:
+    """Student/teacher proxies at the platform's execution precision."""
+    if on_dacapo:
+        student = make_student(
+            pair.student, inference_fmt=MX6, training_fmt=MX9, seed=seed
+        )
+        teacher = make_teacher(pair.teacher, fmt=MX6, seed=seed)
+    else:
+        student = make_student(pair.student, seed=seed)
+        teacher = make_teacher(pair.teacher, seed=seed)
+    return student, teacher
+
+
+def _build_orin_low_ekya(pair, config, seed):
+    student, teacher = _make_models(pair, on_dacapo=False, seed=seed)
+    return FixedWindowSystem(
+        "OrinLow-Ekya", jetson_orin_low(), pair, student, teacher, config
+    )
+
+
+def _build_orin_high_ekya(pair, config, seed):
+    student, teacher = _make_models(pair, on_dacapo=False, seed=seed)
+    return FixedWindowSystem(
+        "OrinHigh-Ekya", jetson_orin_high(), pair, student, teacher, config
+    )
+
+
+def _build_orin_high_eomu(pair, config, seed):
+    student, teacher = _make_models(pair, on_dacapo=False, seed=seed)
+    return EomuSystem(
+        "OrinHigh-EOMU", jetson_orin_high(), pair, student, teacher, config
+    )
+
+
+def _build_dacapo_ekya(pair, config, seed):
+    student, teacher = _make_models(pair, on_dacapo=True, seed=seed)
+    return FixedWindowSystem(
+        "DaCapo-Ekya", DaCapoTimeShared(), pair, student, teacher, config
+    )
+
+
+def _build_dacapo_spatial(pair, config, seed):
+    student, teacher = _make_models(pair, on_dacapo=True, seed=seed)
+    return FixedWindowSystem(
+        "DaCapo-Spatial",
+        _dacapo_platform(pair, config),
+        pair,
+        student,
+        teacher,
+        config,
+    )
+
+
+def _build_dacapo_spatiotemporal(pair, config, seed):
+    student, teacher = _make_models(pair, on_dacapo=True, seed=seed)
+    return DaCapoSystem(
+        "DaCapo-Spatiotemporal",
+        _dacapo_platform(pair, config),
+        pair,
+        student,
+        teacher,
+        config,
+    )
+
+
+#: Figure 9's six systems, in the paper's legend order.
+SYSTEM_BUILDERS: dict[str, Callable] = {
+    "OrinLow-Ekya": _build_orin_low_ekya,
+    "OrinHigh-Ekya": _build_orin_high_ekya,
+    "OrinHigh-EOMU": _build_orin_high_eomu,
+    "DaCapo-Ekya": _build_dacapo_ekya,
+    "DaCapo-Spatial": _build_dacapo_spatial,
+    "DaCapo-Spatiotemporal": _build_dacapo_spatiotemporal,
+}
+
+_GPU_PLATFORMS = {
+    "RTX3090": rtx_3090,
+    "OrinHigh": jetson_orin_high,
+    "OrinLow": jetson_orin_low,
+}
+
+
+def build_system(
+    system_name: str,
+    pair_name: str,
+    config: DaCapoConfig | None = None,
+    seed: int = 0,
+) -> CLSystemBase:
+    """Assemble one of the paper's evaluated systems.
+
+    Args:
+        system_name: One of :data:`SYSTEM_BUILDERS`.
+        pair_name: Model pair (e.g. ``"resnet18_wrn50"``).
+        config: Scheduling hyperparameters (defaults to Table I values).
+        seed: Model-initialization seed (shared across systems so every
+            system starts from identical weights).
+    """
+    try:
+        builder = SYSTEM_BUILDERS[system_name]
+    except KeyError:
+        known = ", ".join(SYSTEM_BUILDERS)
+        raise ConfigurationError(
+            f"unknown system {system_name!r}; known: {known}"
+        )
+    pair = get_pair(pair_name)
+    return builder(pair, config or DaCapoConfig(), seed)
+
+
+def build_fig2_system(
+    kind: str,
+    platform_name: str,
+    pair_name: str,
+    config: DaCapoConfig | None = None,
+    seed: int = 0,
+) -> CLSystemBase:
+    """Figure 2 systems: frozen Student/Teacher or idealized Ekya on a GPU.
+
+    Args:
+        kind: ``"student"``, ``"teacher"``, or ``"ekya"``.
+        platform_name: ``"RTX3090"``, ``"OrinHigh"``, or ``"OrinLow"``.
+    """
+    config = config or DaCapoConfig()
+    pair = get_pair(pair_name)
+    try:
+        platform: Platform = _GPU_PLATFORMS[platform_name]()
+    except KeyError:
+        known = ", ".join(_GPU_PLATFORMS)
+        raise ConfigurationError(
+            f"unknown platform {platform_name!r}; known: {known}"
+        )
+    student, teacher = _make_models(pair, on_dacapo=False, seed=seed)
+    name = f"{platform_name}-{kind.capitalize()}"
+    if kind == "student":
+        return NoRetrainSystem(name, platform, pair, student, teacher, config)
+    if kind == "teacher":
+        deployed = StudentModel(
+            name=teacher.name,
+            mlp=teacher.mlp.clone(),
+            sensitivity=teacher.sensitivity,
+        )
+        return NoRetrainSystem(
+            name, platform, pair, deployed, teacher, config,
+            deploy_teacher=True,
+        )
+    if kind == "ekya":
+        return FixedWindowSystem(
+            name, platform, pair, student, teacher, config
+        )
+    raise ConfigurationError(
+        f"unknown Figure 2 system kind {kind!r}; "
+        "expected student, teacher, or ekya"
+    )
+
+
+def run_on_scenario(
+    system: CLSystemBase,
+    scenario: str | ScenarioStream,
+    seed: int = 0,
+    duration_s: float | None = None,
+) -> RunResult:
+    """Run a system over a scenario (by name or pre-built stream)."""
+    if isinstance(scenario, str):
+        if duration_s is not None:
+            stream = build_scenario(scenario, duration_s=duration_s)
+        else:
+            stream = build_scenario(scenario)
+    else:
+        stream = scenario
+    return system.run(stream, seed=seed)

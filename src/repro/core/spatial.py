@@ -1,0 +1,69 @@
+"""Offline spatial resource allocation (paper workflow step 3).
+
+Finds the minimum number of B-SA rows that sustains student inference at
+the input frame rate, and assigns every remaining row to T-SA, maximizing
+the resources available to retraining and labeling (section VI-B:
+"prioritize Rtsa ... while ensuring Rbsa is sufficient to meet the latency
+requirements of streaming input frames").
+"""
+
+from __future__ import annotations
+
+from repro.accelerator import (
+    AcceleratorSimulator,
+    Partition,
+    SystolicArray,
+)
+from repro.errors import PartitionError
+from repro.models.graph import ModelGraph
+from repro.mx import MX6, MXFormat
+
+__all__ = ["allocate_partition", "min_inference_rows"]
+
+
+def min_inference_rows(
+    array: SystolicArray,
+    student: ModelGraph,
+    frame_rate: float,
+    fmt: MXFormat = MX6,
+    simulator: AcceleratorSimulator | None = None,
+) -> int:
+    """Smallest B-SA row count whose inference throughput meets the FPS.
+
+    Raises:
+        PartitionError: If even the full array cannot keep up.
+    """
+    if frame_rate <= 0:
+        raise PartitionError("frame rate must be positive")
+    simulator = simulator or AcceleratorSimulator()
+    for rows_bsa in range(1, array.rows + 1):
+        _, bsa = array.split(array.rows - rows_bsa)
+        fps = simulator.inference_throughput(student, fmt, bsa, batch=1)
+        if fps >= frame_rate:
+            return rows_bsa
+    raise PartitionError(
+        f"{student.name}: even {array.rows} rows sustain < "
+        f"{frame_rate} FPS at {fmt}"
+    )
+
+
+def allocate_partition(
+    array: SystolicArray,
+    student: ModelGraph,
+    frame_rate: float,
+    fmt: MXFormat = MX6,
+    simulator: AcceleratorSimulator | None = None,
+) -> Partition:
+    """The committed split: minimal B-SA, everything else to T-SA.
+
+    T-SA keeps at least one row so retraining and labeling can run at all;
+    if inference needs every row, allocation fails.
+    """
+    rows_bsa = min_inference_rows(array, student, frame_rate, fmt, simulator)
+    rows_tsa = array.rows - rows_bsa
+    if rows_tsa < 1:
+        raise PartitionError(
+            f"{student.name}: inference consumes all {array.rows} rows; "
+            "no T-SA resources remain for retraining and labeling"
+        )
+    return Partition(array, rows_tsa)

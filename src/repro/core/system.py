@@ -1,0 +1,381 @@
+"""The end-to-end system simulator and DaCapo's spatiotemporal scheduler.
+
+:class:`CLSystemBase` owns the mechanics every continuous-learning system
+shares -- advancing the clock through phases, evaluating the student on the
+frames of each phase interval under the weights active at that moment,
+modeling frame drops, and accounting energy.  Subclasses contribute only a
+*phase generator*: an iterator of :class:`PhaseStep` objects whose commit
+callbacks mutate the student/buffer when the phase completes.
+
+:class:`DaCapoSystem` implements the paper's Algorithm 1 on top of this:
+retrain -> validate -> label -> drift check, with the labeling escalation
+(``Nl`` -> ``Nldd``) and buffer reset on drift.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.buffer import SampleBuffer
+from repro.core.config import DaCapoConfig
+from repro.core.phases import PhaseKind, PhaseRecord
+from repro.core.results import RunResult
+from repro.data.stream import FrameWindow, ScenarioStream
+from repro.errors import ScheduleError
+from repro.learn.student import StudentModel
+from repro.learn.teacher import TeacherModel
+from repro.models.zoo import ModelPair
+from repro.platform.base import Platform
+
+__all__ = ["PhaseStep", "CLSystemBase", "DaCapoSystem"]
+
+#: Below this many buffered samples, retraining is skipped (one batch).
+MIN_RETRAIN_SAMPLES = 16
+
+
+@dataclass
+class PhaseStep:
+    """One planned phase from a scheduler generator.
+
+    Attributes:
+        kind: Kernel the phase runs.
+        duration_s: Planned duration (the run loop may truncate the final
+            phase at the stream end).
+        samples: Samples the phase processes (for the trace).
+        commit: Callback ``(t0, t1) -> drift_detected`` executed when the
+            phase completes; mutates student/buffer state.
+    """
+
+    kind: PhaseKind
+    duration_s: float
+    samples: int = 0
+    commit: Callable[[float, float], bool] | None = None
+
+
+class CLSystemBase:
+    """Shared mechanics of every continuous-learning system.
+
+    Args:
+        name: Report name (e.g. ``"OrinHigh-Ekya"``).
+        platform: Execution platform.
+        pair: The (student, teacher) model pair.
+        student: The live student proxy.
+        teacher: The teacher proxy (None for systems that never label).
+        config: Scheduling hyperparameters.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        platform: Platform,
+        pair: ModelPair,
+        student: StudentModel,
+        teacher: TeacherModel | None,
+        config: DaCapoConfig,
+    ) -> None:
+        self.name = name
+        self.platform = platform
+        self.pair = pair
+        self.student = student
+        self.teacher = teacher
+        self.config = config
+        self.buffer = SampleBuffer(
+            config.buffer_capacity, feature_dim=self._feature_dim()
+        )
+
+        student_graph = pair.student_graph()
+        self.inference_fps = platform.inference_rate(student_graph)
+        self.drop_rate = max(
+            0.0, 1.0 - self.inference_fps / config.frame_rate
+        )
+        if getattr(platform, "dedicated_inference", False):
+            self.training_share = 1.0
+        else:
+            inference_share = min(
+                1.0, config.frame_rate / self.inference_fps
+            )
+            self.training_share = max(0.0, 1.0 - inference_share)
+
+    def _feature_dim(self) -> int:
+        return self.student.mlp.weights[0].shape[0]
+
+    # -- rates ------------------------------------------------------------
+
+    def labeling_sps(self) -> float:
+        """Teacher labeling throughput under the training-side share."""
+        rate = self.platform.labeling_rate(
+            self.pair.teacher_graph(), self.training_share
+        )
+        # Labeling consumes live frames; it cannot outpace their arrival.
+        return min(rate, self.config.frame_rate) if rate > 0 else 0.0
+
+    def training_sps(self) -> float:
+        """Retraining throughput under the training-side share."""
+        return self.platform.training_rate(
+            self.pair.student_graph(), self.training_share
+        )
+
+    def validation_sps(self) -> float:
+        """Validation (student forward) throughput on the training side."""
+        return self.platform.labeling_rate(
+            self.pair.student_graph(), self.training_share
+        )
+
+    # -- scheduling hook ---------------------------------------------------
+
+    def phase_generator(
+        self, frames: FrameWindow, rng: np.random.Generator
+    ) -> Iterator[PhaseStep]:
+        """Yield the system's schedule; overridden by every system."""
+        raise NotImplementedError
+
+    # -- helpers shared by schedulers ---------------------------------------
+
+    def retrain_duration_s(self, num_train: int, num_validation: int) -> float:
+        """Wall time of a retraining phase (epochs + validation forward)."""
+        train_sps = self.training_sps()
+        val_sps = self.validation_sps()
+        if train_sps <= 0 or val_sps <= 0:
+            return float("inf")
+        train_time = self.config.epochs * num_train / train_sps
+        return train_time + num_validation / val_sps
+
+    def label_duration_s(self, num_label: int) -> float:
+        """Wall time of a labeling phase."""
+        sps = self.labeling_sps()
+        if sps <= 0:
+            return float("inf")
+        return num_label / sps
+
+    def do_retrain(
+        self,
+        rng: np.random.Generator,
+        max_duration_s: float | None = None,
+    ) -> tuple[PhaseStep | None, dict]:
+        """A retraining PhaseStep over the current buffer, or None.
+
+        When ``max_duration_s`` is given (window-based schedulers), a
+        retraining that would not fit trains only the sample prefix that
+        does -- the "incomplete models" the paper attributes to retraining
+        with insufficient resources.  The returned dict gains an ``"accv"``
+        entry when the commit runs.
+        """
+        outcome: dict = {}
+        if len(self.buffer) < MIN_RETRAIN_SAMPLES:
+            return None, outcome
+        (x_train, y_train), (x_val, y_val) = self.buffer.draw(
+            self.config.num_train, self.config.num_validation, rng
+        )
+        duration = self.retrain_duration_s(len(x_train), len(x_val))
+        if max_duration_s is not None and duration > max_duration_s:
+            fraction = max_duration_s / duration
+            keep = int(len(x_train) * fraction)
+            if keep < MIN_RETRAIN_SAMPLES:
+                return None, outcome  # the window is too short to retrain
+            x_train, y_train = x_train[:keep], y_train[:keep]
+            duration = self.retrain_duration_s(len(x_train), len(x_val))
+
+        def commit(t0: float, t1: float) -> bool:
+            self.student.retrain(
+                x_train,
+                y_train,
+                epochs=self.config.epochs,
+                rng=rng,
+                learning_rate=self.config.learning_rate,
+                batch_size=self.config.batch_size,
+            )
+            outcome["accv"] = self.student.accuracy(x_val, y_val)
+            return False
+
+        step = PhaseStep(
+            PhaseKind.RETRAIN,
+            duration,
+            samples=self.config.epochs * len(x_train),
+            commit=commit,
+        )
+        return step, outcome
+
+    def do_label(
+        self,
+        frames: FrameWindow,
+        num_label: int,
+        rng: np.random.Generator,
+        check_drift_against: Callable[[], float | None] | None = None,
+    ) -> tuple[PhaseStep, dict]:
+        """A labeling PhaseStep sampling from its own time window.
+
+        Args:
+            frames: The full materialized stream.
+            num_label: Target labels (capped by frames in the window).
+            rng: Randomness source.
+            check_drift_against: When given, a callable returning the
+                current validation accuracy; the commit compares the
+                student's agreement on fresh labels against it (Algorithm 1
+                line 11) and reports drift.
+
+        The returned dict gains ``"accl"`` and ``"labeled"`` when committed.
+        """
+        outcome: dict = {}
+        duration = self.label_duration_s(num_label)
+
+        def commit(t0: float, t1: float) -> bool:
+            window = frames.window(t0, t1)
+            if len(window) == 0:
+                outcome["labeled"] = 0
+                return False
+            count = min(num_label, len(window))
+            picked = rng.choice(len(window), size=count, replace=False)
+            picked.sort()
+            x = window.features[picked]
+            assert self.teacher is not None
+            teacher_labels = self.teacher.label(x)
+            predictions = self.student.predict(x)
+            accl = float(np.mean(predictions == teacher_labels))
+            outcome["accl"] = accl
+            outcome["labeled"] = count
+
+            drift = False
+            if check_drift_against is not None:
+                accv = check_drift_against()
+                if accv is not None:
+                    drift = (accl - accv) < self.config.drift_threshold
+            if drift:
+                self.buffer.reset()  # Algorithm 1 line 12
+            self.buffer.add(x, teacher_labels)
+            outcome["drift"] = drift
+            return drift
+
+        step = PhaseStep(
+            PhaseKind.LABEL, duration, samples=num_label, commit=commit
+        )
+        return step, outcome
+
+    # -- the run loop -------------------------------------------------------
+
+    def run(self, stream: ScenarioStream, seed: int = 0) -> RunResult:
+        """Simulate the system over a scenario stream."""
+        frames = stream.materialize(seed)
+        duration = stream.duration_s
+        rng = np.random.default_rng(
+            (seed, zlib.crc32(self.name.encode()) & 0xFFFF)
+        )
+
+        correct = np.zeros(len(frames), dtype=bool)
+        dropped = np.zeros(len(frames), dtype=bool)
+        records: list[PhaseRecord] = []
+        clock = 0.0
+
+        for step in self.phase_generator(frames, rng):
+            if step.duration_s <= 0:
+                raise ScheduleError(
+                    f"{self.name}: non-positive phase duration"
+                )
+            end = min(clock + step.duration_s, duration)
+            self._evaluate_interval(frames, clock, end, correct, dropped, rng)
+            drift = False
+            if step.commit is not None:
+                drift = step.commit(clock, end)
+            records.append(
+                PhaseRecord(step.kind, clock, end, step.samples, drift)
+            )
+            clock = end
+            if clock >= duration:
+                break
+
+        if clock < duration:
+            # Scheduler exhausted early (e.g. no-retrain systems): evaluate
+            # the remainder under the final weights.
+            self._evaluate_interval(
+                frames, clock, duration, correct, dropped, rng
+            )
+            records.append(PhaseRecord(PhaseKind.IDLE, clock, duration))
+
+        power = self.platform.average_power_w(1.0)
+        return RunResult(
+            system=self.name,
+            scenario=stream.name,
+            pair=self.pair.name,
+            times=frames.times,
+            correct=correct,
+            dropped=dropped,
+            phases=tuple(records),
+            duration_s=duration,
+            energy_j=power * duration,
+            average_power_w=power,
+        )
+
+    def _evaluate_interval(
+        self,
+        frames: FrameWindow,
+        t0: float,
+        t1: float,
+        correct: np.ndarray,
+        dropped: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Score frames in ``[t0, t1)`` with the current student weights."""
+        if t1 <= t0:
+            return
+        lo = int(np.searchsorted(frames.times, t0, side="left"))
+        hi = int(np.searchsorted(frames.times, t1, side="left"))
+        if hi <= lo:
+            return
+        window_features = frames.features[lo:hi]
+        window_labels = frames.labels[lo:hi]
+        predictions = self.student.predict(window_features)
+        ok = predictions == window_labels
+        if self.drop_rate > 0:
+            drops = rng.random(hi - lo) < self.drop_rate
+            ok = ok & ~drops
+            dropped[lo:hi] = drops
+        correct[lo:hi] = ok
+
+
+class DaCapoSystem(CLSystemBase):
+    """DaCapo-Spatiotemporal: Algorithm 1 on the partitioned accelerator.
+
+    The loop alternates retraining and labeling phases on T-SA.  After each
+    retraining, the updated student is validated on buffered data
+    (``accv``); after each labeling, the student's agreement with fresh
+    teacher labels (``accl``) is compared against ``accv`` -- a gap below
+    ``Vthr`` signals drift, clearing the buffer and extending labeling from
+    ``Nl`` to ``Nldd`` samples.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._accv: float | None = None
+
+    def phase_generator(
+        self, frames: FrameWindow, rng: np.random.Generator
+    ) -> Iterator[PhaseStep]:
+        config = self.config
+        while True:
+            # Retraining (Algorithm 1 lines 4-7); skipped while the buffer
+            # is still bootstrapping.
+            step, outcome = self.do_retrain(rng)
+            if step is not None:
+                yield step
+                if "accv" in outcome:
+                    self._accv = outcome["accv"]
+
+            # Labeling + drift check (lines 8-13).
+            step, outcome = self.do_label(
+                frames,
+                config.num_label,
+                rng,
+                check_drift_against=lambda: self._accv,
+            )
+            yield step
+            if outcome.get("drift", False):
+                extra = config.num_label_drift - config.num_label
+                if extra > 0:
+                    extension, _ = self.do_label(frames, extra, rng)
+                    yield extension
+                # The freshly reset buffer invalidates the old validation
+                # accuracy; wait for the next retraining to re-establish it.
+                self._accv = None

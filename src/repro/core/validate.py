@@ -1,0 +1,66 @@
+"""Schedule-trace validation: invariants every system run must satisfy.
+
+These checks encode the simulator's contract -- phases tile the run without
+overlap, drift reactions follow the algorithm, frame accounting is
+consistent -- and are exercised by property-based tests that run systems
+under randomized configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.phases import PhaseKind
+from repro.core.results import RunResult
+from repro.errors import ScheduleError
+
+__all__ = ["validate_run"]
+
+_TOLERANCE = 1e-6
+
+
+def validate_run(result: RunResult) -> None:
+    """Raise :class:`ScheduleError` if the run trace violates an invariant.
+
+    Checked invariants:
+
+    - phases are chronological, non-overlapping, and inside the run;
+    - the trace covers the full run (no unaccounted time at the end);
+    - every frame timestamp lies within the run;
+    - dropped frames are never counted correct;
+    - a drift detection is immediately followed by a labeling phase
+      (Algorithm 1's escalation) unless the run ends first.
+    """
+    phases = result.phases
+    if phases:
+        if phases[0].start_s < -_TOLERANCE:
+            raise ScheduleError("first phase starts before the run")
+        for prev, nxt in zip(phases, phases[1:]):
+            if nxt.start_s < prev.end_s - _TOLERANCE:
+                raise ScheduleError(
+                    f"phases overlap: {prev} then {nxt}"
+                )
+            if nxt.start_s > prev.end_s + _TOLERANCE:
+                raise ScheduleError(
+                    f"schedule gap between {prev.end_s} and {nxt.start_s}"
+                )
+        if phases[-1].end_s > result.duration_s + _TOLERANCE:
+            raise ScheduleError("phase extends past the run's end")
+        if phases[-1].end_s < result.duration_s - _TOLERANCE:
+            raise ScheduleError("trace leaves trailing time unaccounted")
+
+    times = np.asarray(result.times)
+    if len(times) and (times.min() < -_TOLERANCE
+                       or times.max() > result.duration_s + _TOLERANCE):
+        raise ScheduleError("frame timestamps outside the run")
+    if np.any(np.asarray(result.correct)[np.asarray(result.dropped)]):
+        raise ScheduleError("a dropped frame was scored correct")
+
+    for i, phase in enumerate(phases):
+        if not phase.drift_detected:
+            continue
+        if i + 1 < len(phases):
+            if phases[i + 1].kind is not PhaseKind.LABEL:
+                raise ScheduleError(
+                    "drift detection not followed by escalated labeling"
+                )

@@ -1,0 +1,52 @@
+"""Synthetic BDD100K-like drifting video streams (paper section VII-A).
+
+The paper crops objects from BDD100K driving videos, orders them
+chronologically, and characterizes segments by three attributes -- Label
+Distribution (Traffic-Only vs All), Time of Day (Daytime vs Night), and
+Location (City vs Highway) -- plus Weather for the extreme scenarios.  Data
+drift is a segment boundary where attributes change.
+
+This package generates the synthetic equivalent: each *domain* (attribute
+combination) defines class priors and class-conditional Gaussian feature
+distributions; scenarios S1--S6 and ES1--ES2 are segment schedules over
+domains following Table II.  The drift *structure* (label-set changes plus
+class-conditional covariate shifts) mirrors the real dataset's, which is
+what the continuous-learning dynamics depend on.
+"""
+
+from repro.data.attributes import (
+    ALL_CLASSES,
+    TRAFFIC_CLASSES,
+    Domain,
+    LabelDistribution,
+    Location,
+    TimeOfDay,
+    Weather,
+)
+from repro.data.distributions import DomainModel
+from repro.data.stream import FrameWindow, Segment, ScenarioStream
+from repro.data.scenarios import (
+    SCENARIO_NAMES,
+    build_scenario,
+    scenario_table,
+)
+from repro.data.sampler import stratified_indices, uniform_sample_indices
+
+__all__ = [
+    "ALL_CLASSES",
+    "Domain",
+    "DomainModel",
+    "FrameWindow",
+    "LabelDistribution",
+    "Location",
+    "SCENARIO_NAMES",
+    "ScenarioStream",
+    "Segment",
+    "TRAFFIC_CLASSES",
+    "TimeOfDay",
+    "Weather",
+    "build_scenario",
+    "scenario_table",
+    "stratified_indices",
+    "uniform_sample_indices",
+]

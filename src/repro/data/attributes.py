@@ -1,0 +1,106 @@
+"""Domain attributes of the driving streams (paper Table II).
+
+A :class:`Domain` is one combination of the four attributes.  The first
+three drive the regular scenarios S1--S6; Weather additionally varies in the
+extreme scenarios ES1--ES2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "ALL_CLASSES",
+    "TRAFFIC_CLASSES",
+    "Domain",
+    "LabelDistribution",
+    "Location",
+    "TimeOfDay",
+    "Weather",
+]
+
+#: Object categories cropped from the driving dataset (BDD100K detection
+#: classes).  The first five are "traffic" labels; the rest appear only
+#: under the All label distribution.
+TRAFFIC_CLASSES: tuple[str, ...] = (
+    "car",
+    "truck",
+    "bus",
+    "traffic_light",
+    "traffic_sign",
+)
+ALL_CLASSES: tuple[str, ...] = TRAFFIC_CLASSES + (
+    "pedestrian",
+    "rider",
+    "bicycle",
+    "motorcycle",
+    "train",
+)
+
+
+class LabelDistribution(enum.Enum):
+    """Which label set the segment contains (Table II)."""
+
+    TRAFFIC_ONLY = "traffic_only"
+    ALL = "all"
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """Class names present under this distribution."""
+        if self is LabelDistribution.TRAFFIC_ONLY:
+            return TRAFFIC_CLASSES
+        return ALL_CLASSES
+
+
+class TimeOfDay(enum.Enum):
+    """Lighting condition."""
+
+    DAYTIME = "daytime"
+    NIGHT = "night"
+
+
+class Location(enum.Enum):
+    """Driving environment."""
+
+    CITY = "city"
+    HIGHWAY = "highway"
+
+
+class Weather(enum.Enum):
+    """Weather condition (fixed per regular scenario, drifting in ES1/ES2)."""
+
+    CLEAR = "clear"
+    OVERCAST = "overcast"
+    SNOWY = "snowy"
+    RAINY = "rainy"
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One attribute combination; the unit data drifts move between.
+
+    Attributes:
+        labels: Label distribution in effect.
+        time: Time of day.
+        location: City or highway.
+        weather: Weather condition.
+    """
+
+    labels: LabelDistribution = LabelDistribution.TRAFFIC_ONLY
+    time: TimeOfDay = TimeOfDay.DAYTIME
+    location: Location = Location.CITY
+    weather: Weather = Weather.CLEAR
+
+    def with_(self, **changes: object) -> "Domain":
+        """A copy with some attributes replaced (drift construction)."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Compact attribute string for reports."""
+        return (
+            f"{self.labels.value}/{self.time.value}/"
+            f"{self.location.value}/{self.weather.value}"
+        )

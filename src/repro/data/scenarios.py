@@ -1,0 +1,170 @@
+"""Workload scenarios S1--S6 and ES1--ES2 (paper Table II).
+
+Each scenario fixes some attributes and lets others drift at segment
+boundaries:
+
+=====  ========  ==========================================
+Name   Weather   Drifting attributes
+=====  ========  ==========================================
+S1     Clear     Label Distribution
+S2     Overcast  Label Distribution
+S3     Clear     Label Distribution, Time of Day
+S4     Snowy     Label Distribution, Time of Day
+S5     Clear     Label Distribution, Time of Day, Location
+S6     Rainy     Label Distribution, Time of Day, Location
+ES1    drifting  all four attributes
+ES2    drifting  all four attributes
+=====  ========  ==========================================
+
+Segments are 60 seconds (the granularity of the paper's Figure 8) over a
+20-minute stream.  At each boundary every drifting attribute flips with a
+seeded coin, so drifts arrive at irregular intervals but are reproducible
+per scenario name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.attributes import (
+    Domain,
+    LabelDistribution,
+    Location,
+    TimeOfDay,
+    Weather,
+)
+from repro.data.distributions import DomainModel
+from repro.data.stream import (
+    DEFAULT_DURATION_S,
+    Segment,
+    ScenarioStream,
+)
+from repro.errors import ScenarioError
+
+__all__ = ["SCENARIO_NAMES", "build_scenario", "scenario_table"]
+
+#: All evaluated scenarios, regular then extreme.
+SCENARIO_NAMES: tuple[str, ...] = (
+    "S1", "S2", "S3", "S4", "S5", "S6", "ES1", "ES2",
+)
+
+#: Segment granularity (Figure 8 shows 60-second segments).
+SEGMENT_S = 60.0
+
+#: Chance each drifting attribute flips at a segment boundary.
+_FLIP_PROBABILITY = 0.5
+
+#: Spec per scenario: fixed weather (None = drifting) and the attribute
+#: names allowed to drift.
+_SPECS: dict[str, tuple[Weather | None, tuple[str, ...], int]] = {
+    "S1": (Weather.CLEAR, ("labels",), 101),
+    "S2": (Weather.OVERCAST, ("labels",), 102),
+    "S3": (Weather.CLEAR, ("labels", "time"), 103),
+    "S4": (Weather.SNOWY, ("labels", "time"), 104),
+    "S5": (Weather.CLEAR, ("labels", "time", "location"), 105),
+    "S6": (Weather.RAINY, ("labels", "time", "location"), 106),
+    "ES1": (None, ("labels", "time", "location", "weather"), 201),
+    "ES2": (None, ("labels", "time", "location", "weather"), 202),
+}
+
+_FLIPS = {
+    "labels": {
+        LabelDistribution.TRAFFIC_ONLY: LabelDistribution.ALL,
+        LabelDistribution.ALL: LabelDistribution.TRAFFIC_ONLY,
+    },
+    "time": {
+        TimeOfDay.DAYTIME: TimeOfDay.NIGHT,
+        TimeOfDay.NIGHT: TimeOfDay.DAYTIME,
+    },
+    "location": {
+        Location.CITY: Location.HIGHWAY,
+        Location.HIGHWAY: Location.CITY,
+    },
+}
+
+_WEATHER_CYCLE = (
+    Weather.CLEAR, Weather.OVERCAST, Weather.SNOWY, Weather.RAINY,
+)
+
+
+def _next_domain(
+    domain: Domain,
+    drifting: tuple[str, ...],
+    rng: np.random.Generator,
+) -> Domain:
+    """Flip each drifting attribute with the scenario coin."""
+    changes: dict[str, object] = {}
+    for attribute in drifting:
+        if rng.random() >= _FLIP_PROBABILITY:
+            continue
+        if attribute == "weather":
+            options = [w for w in _WEATHER_CYCLE if w != domain.weather]
+            changes["weather"] = options[rng.integers(len(options))]
+        else:
+            current = getattr(domain, attribute)
+            changes[attribute] = _FLIPS[attribute][current]
+    return domain.with_(**changes) if changes else domain
+
+
+def build_scenario(
+    name: str,
+    duration_s: float = DEFAULT_DURATION_S,
+    segment_s: float = SEGMENT_S,
+    model: DomainModel | None = None,
+) -> ScenarioStream:
+    """Construct one of the Table II scenarios.
+
+    Args:
+        name: ``"S1"`` .. ``"S6"``, ``"ES1"``, ``"ES2"``.
+        duration_s: Total stream length (paper: 20 minutes).
+        segment_s: Segment granularity (paper: 60 seconds).
+        model: Domain geometry override (defaults to the shared geometry).
+
+    Raises:
+        ScenarioError: For unknown names or non-positive durations.
+    """
+    if name not in _SPECS:
+        known = ", ".join(SCENARIO_NAMES)
+        raise ScenarioError(f"unknown scenario {name!r}; known: {known}")
+    if duration_s <= 0 or segment_s <= 0:
+        raise ScenarioError("durations must be positive")
+
+    weather, drifting, seed = _SPECS[name]
+    rng = np.random.default_rng(seed)
+    domain = Domain(weather=weather if weather is not None else Weather.CLEAR)
+
+    segments: list[Segment] = []
+    remaining = duration_s
+    while remaining > 1e-9:
+        length = min(segment_s, remaining)
+        segments.append(Segment(domain=domain, duration_s=length))
+        remaining -= length
+        if remaining > 1e-9:
+            domain = _next_domain(domain, drifting, rng)
+
+    return ScenarioStream(
+        name=name,
+        segments=tuple(segments),
+        model=model or DomainModel(),
+    )
+
+
+def scenario_table() -> list[dict[str, str]]:
+    """Rows reproducing Table II (name, weather, drift types)."""
+    rows: list[dict[str, str]] = []
+    labels = {
+        "labels": "Label Distribution",
+        "time": "Time of Day",
+        "location": "Location",
+        "weather": "Weather",
+    }
+    for name in SCENARIO_NAMES:
+        weather, drifting, _ = _SPECS[name]
+        rows.append(
+            {
+                "name": name,
+                "weather": weather.value.capitalize() if weather else "Drifting",
+                "drift_types": ", ".join(labels[d] for d in drifting),
+            }
+        )
+    return rows

@@ -1,0 +1,160 @@
+"""Chronological frame streams assembled from domain segments.
+
+A scenario is a sequence of :class:`Segment`\\ s (domain + duration).  The
+paper unfolds each scenario over 20 minutes at 30 FPS (section VII-A);
+materializing a stream draws every frame's feature vector and label from
+the segment's domain model, in chronological order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.attributes import Domain
+from repro.data.distributions import DomainModel
+from repro.errors import ScenarioError
+
+__all__ = ["Segment", "FrameWindow", "ScenarioStream"]
+
+#: Paper section VII-A stream parameters.
+DEFAULT_FPS = 30.0
+DEFAULT_DURATION_S = 20 * 60
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal stretch of the stream with a constant domain.
+
+    Attributes:
+        domain: The attribute combination in effect.
+        duration_s: Segment length in seconds.
+    """
+
+    domain: Domain
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ScenarioError("segment duration must be positive")
+
+
+@dataclass(frozen=True)
+class FrameWindow:
+    """A contiguous slice of materialized frames.
+
+    Attributes:
+        features: ``(n, feature_dim)`` crop embeddings.
+        labels: ``(n,)`` integer ground-truth labels.
+        times: ``(n,)`` frame timestamps in seconds, non-decreasing.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    times: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.features) == len(self.labels) == len(self.times)
+        ):
+            raise ScenarioError("frame arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def window(self, t0: float, t1: float) -> "FrameWindow":
+        """Frames with timestamps in ``[t0, t1)``."""
+        if t1 < t0:
+            raise ScenarioError(f"invalid window [{t0}, {t1})")
+        lo = int(np.searchsorted(self.times, t0, side="left"))
+        hi = int(np.searchsorted(self.times, t1, side="left"))
+        return FrameWindow(
+            self.features[lo:hi], self.labels[lo:hi], self.times[lo:hi]
+        )
+
+    def subset(self, indices: np.ndarray) -> "FrameWindow":
+        """Frames at the given positions (sampler output)."""
+        return FrameWindow(
+            self.features[indices], self.labels[indices], self.times[indices]
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioStream:
+    """A named schedule of segments over one domain model.
+
+    Attributes:
+        name: Scenario name (``"S1"`` .. ``"ES2"``).
+        segments: Chronological segments.
+        model: Generative geometry shared by all segments.
+        fps: Frame rate.
+    """
+
+    name: str
+    segments: tuple[Segment, ...]
+    model: DomainModel = DomainModel()
+    fps: float = DEFAULT_FPS
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ScenarioError(f"{self.name}: scenario has no segments")
+        if self.fps <= 0:
+            raise ScenarioError(f"{self.name}: fps must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        """Total stream length in seconds."""
+        return sum(s.duration_s for s in self.segments)
+
+    @property
+    def num_frames(self) -> int:
+        """Total frame count."""
+        return sum(int(round(s.duration_s * self.fps)) for s in self.segments)
+
+    def segment_at(self, t: float) -> Segment:
+        """The segment containing time ``t``."""
+        if t < 0:
+            raise ScenarioError(f"negative time {t}")
+        elapsed = 0.0
+        for segment in self.segments:
+            elapsed += segment.duration_s
+            if t < elapsed:
+                return segment
+        return self.segments[-1]
+
+    def drift_times(self) -> tuple[float, ...]:
+        """Times of segment boundaries where the domain actually changes."""
+        drifts: list[float] = []
+        elapsed = 0.0
+        for prev, nxt in zip(self.segments, self.segments[1:]):
+            elapsed += prev.duration_s
+            if nxt.domain != prev.domain:
+                drifts.append(elapsed)
+        return tuple(drifts)
+
+    def materialize(self, seed: int = 0) -> FrameWindow:
+        """Draw every frame of the stream, chronologically.
+
+        Per-segment substreams are seeded from ``(seed, segment index)``, so
+        a segment's content does not depend on how earlier segments consumed
+        randomness.
+        """
+        features: list[np.ndarray] = []
+        labels: list[np.ndarray] = []
+        times: list[np.ndarray] = []
+        start = 0.0
+        for index, segment in enumerate(self.segments):
+            count = int(round(segment.duration_s * self.fps))
+            rng = np.random.default_rng((seed, index))
+            x, y = self.model.sample(segment.domain, count, rng)
+            t = start + np.arange(count) / self.fps
+            features.append(x)
+            labels.append(y)
+            times.append(t)
+            start += segment.duration_s
+        return FrameWindow(
+            np.concatenate(features),
+            np.concatenate(labels),
+            np.concatenate(times),
+        )

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this package derive from :class:`ReproError` so
+callers can catch package-level failures with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class QuantizationError(ReproError):
+    """Input cannot be represented in the requested MX format."""
+
+
+class PartitionError(ReproError):
+    """An invalid spatial partition of the accelerator was requested."""
+
+
+class ScheduleError(ReproError):
+    """The scheduler was driven into an invalid state."""
+
+
+class ModelSpecError(ReproError):
+    """A DNN architectural spec is malformed or unknown."""
+
+
+class ScenarioError(ReproError):
+    """A workload scenario is malformed or unknown."""

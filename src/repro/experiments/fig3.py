@@ -1,0 +1,99 @@
+"""Figure 3: MAC-operation breakdown of the three kernels.
+
+The paper characterizes a 120-second continuous-learning run while sweeping
+the labeling sampling rate (3/5/10 %) and retraining epochs (3/5/10),
+reporting the per-kernel share of total FLOPs and the resulting accuracy.
+The reproduced shape: retraining's share surges (26 % -> 82 % in the paper)
+as sampling rate and epochs grow, inference/labeling shares shrink, and
+total FLOPs rise.
+
+Known delta (see EXPERIMENTS.md): the paper's accuracy annotation rises
+with the invested compute because its DNNs are data- and compute-hungry;
+our proxies converge within ~2 epochs, so past that knee longer
+retraining/labeling phases delay adaptation and the measured accuracy
+trend flattens or inverts.  The FLOPs-breakdown shape -- the figure's main
+content -- is unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.core import DaCapoConfig, build_system, run_on_scenario
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.models import get_pair
+
+__all__ = ["run_fig3"]
+
+#: (sampling rate, epochs) sweep of the paper's Figure 3.
+FIG3_SWEEP = ((0.03, 3), (0.05, 5), (0.10, 10))
+
+
+def _flops_breakdown(
+    pair_name: str,
+    sampling_rate: float,
+    epochs: int,
+    duration_s: float,
+    frame_rate: float = 30.0,
+) -> dict[str, float]:
+    """Analytical per-kernel FLOPs for a run (1 MAC = 1 FLOP, as Table III)."""
+    pair = get_pair(pair_name)
+    student = pair.student_graph()
+    teacher = pair.teacher_graph()
+    frames = duration_s * frame_rate
+    sampled = frames * sampling_rate
+    inference = frames * student.macs(1)
+    labeling = sampled * teacher.macs(1)
+    retraining = epochs * sampled * student.training_macs(1)
+    return {
+        "inference": inference,
+        "labeling": labeling,
+        "retraining": retraining,
+    }
+
+
+def run_fig3(
+    duration_s: float = 120.0,
+    pair_name: str = "resnet18_wrn50",
+    scenario: str = "S5",
+    seed: int = 0,
+) -> ExperimentResult:
+    """Reproduce Figure 3's breakdown and accuracy sweep."""
+    rows = []
+    for rate, epochs in FIG3_SWEEP:
+        breakdown = _flops_breakdown(pair_name, rate, epochs, duration_s)
+        total = sum(breakdown.values())
+
+        # Accuracy from an actual run with matching labeling volume/epochs.
+        num_label = max(16, int(rate * duration_s * 30.0))
+        config = DaCapoConfig(
+            num_label=min(num_label, 1024),
+            epochs=epochs,
+            num_train=min(max(64, num_label), 512),
+        )
+        system = build_system("DaCapo-Spatiotemporal", pair_name,
+                              config=config, seed=seed)
+        result = run_on_scenario(system, scenario, seed=seed,
+                                 duration_s=duration_s * 5)
+        rows.append(
+            {
+                "sampling_rate": f"{rate:.0%}",
+                "epochs": epochs,
+                "inference_share": breakdown["inference"] / total,
+                "retraining_share": breakdown["retraining"] / total,
+                "labeling_share": breakdown["labeling"] / total,
+                "total_tflops": total / 1e12,
+                "accuracy": result.average_accuracy(),
+            }
+        )
+    report = (
+        "Figure 3: per-kernel FLOPs breakdown and accuracy vs "
+        "(sampling rate, epochs)\n"
+        f"(pair {pair_name}, breakdown over {duration_s:.0f} s)\n"
+        + format_table(rows)
+    )
+    return ExperimentResult(
+        name="fig3",
+        title="Kernel workload characterization (Figure 3)",
+        rows=rows,
+        report=report,
+        extras={"pair": pair_name},
+    )

@@ -1,0 +1,85 @@
+"""The paper's headline claims (abstract / section I).
+
+- DaCapo achieves 6.5% higher accuracy than Ekya and 5.5% higher than EOMU
+  (on their strongest GPU configuration), and
+- consumes 254x less power than the GPU baseline.
+
+This experiment derives the same quantities from a Figure 9 run plus the
+Table IV power models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator import DACAPO_POWER_W
+from repro.experiments.fig9 import FIG9_PAIRS, run_fig9
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.learn import geometric_mean
+from repro.platform import jetson_orin_high, jetson_orin_low
+
+__all__ = ["run_headline"]
+
+
+def run_headline(
+    duration_s: float = 1200.0,
+    pairs: tuple[str, ...] = FIG9_PAIRS,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measure the headline accuracy gains and power ratios."""
+    fig9 = run_fig9(duration_s=duration_s, pairs=pairs, seed=seed)
+    accuracy = fig9.extras["accuracy"]
+
+    def overall(system: str) -> float:
+        values = np.concatenate(
+            [accuracy[(pair, system)] for pair in pairs]
+        )
+        return geometric_mean(values)
+
+    dacapo = overall("DaCapo-Spatiotemporal")
+    ekya = overall("OrinHigh-Ekya")
+    eomu = overall("OrinHigh-EOMU")
+    ratio_high = jetson_orin_high().power_w / DACAPO_POWER_W
+    ratio_low = jetson_orin_low().power_w / DACAPO_POWER_W
+
+    rows = [
+        {
+            "claim": "accuracy gain vs OrinHigh-Ekya",
+            "paper": "+6.5%",
+            "measured": f"+{(dacapo - ekya) * 100:.1f}%",
+        },
+        {
+            "claim": "accuracy gain vs OrinHigh-EOMU",
+            "paper": "+5.5%",
+            "measured": f"+{(dacapo - eomu) * 100:.1f}%",
+        },
+        {
+            "claim": "power ratio vs OrinHigh",
+            "paper": "254x",
+            "measured": f"{ratio_high:.0f}x",
+        },
+        {
+            "claim": "power ratio vs OrinLow",
+            "paper": "127x",
+            "measured": f"{ratio_low:.0f}x",
+        },
+    ]
+    report = (
+        "Headline claims (gmean over pairs x scenarios, "
+        f"{duration_s:.0f} s streams)\n"
+        f"DaCapo-Spatiotemporal {dacapo:.3f} | OrinHigh-Ekya {ekya:.3f} | "
+        f"OrinHigh-EOMU {eomu:.3f}\n"
+        + format_table(rows)
+    )
+    return ExperimentResult(
+        name="headline",
+        title="Headline claims",
+        rows=rows,
+        report=report,
+        extras={
+            "dacapo": dacapo,
+            "ekya": ekya,
+            "eomu": eomu,
+            "ratio_high": ratio_high,
+        },
+    )

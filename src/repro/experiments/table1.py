@@ -1,0 +1,23 @@
+"""Table I: hyperparameters of the spatiotemporal resource allocator."""
+
+from __future__ import annotations
+
+from repro.core.config import DaCapoConfig, hyperparameter_table
+from repro.experiments.reporting import ExperimentResult, format_table
+
+__all__ = ["run_table1"]
+
+
+def run_table1(config: DaCapoConfig | None = None) -> ExperimentResult:
+    """Reproduce Table I with the configured hyperparameter values."""
+    rows = hyperparameter_table(config)
+    report = (
+        "Table I: spatiotemporal resource allocation hyperparameters\n"
+        + format_table(rows)
+    )
+    return ExperimentResult(
+        name="table1",
+        title="Hyperparameters (Table I)",
+        rows=rows,
+        report=report,
+    )

@@ -1,0 +1,53 @@
+"""Trainable proxy models standing in for the paper's DNNs.
+
+The accelerator decides *how many* samples each kernel can process; these
+numpy models decide *what that does to accuracy*.  A student is a small MLP
+classifier trained with SGD (learning rate 1e-3, batch 16 -- the paper's
+retraining hyperparameters); a teacher is a larger MLP pretrained across all
+domains, whose predictions label the retraining data (imperfectly, as in the
+real system).
+
+MX precision effects are injected with the *actual* MX quantizer from
+:mod:`repro.mx`, scaled by the per-model precision sensitivity from the
+model zoo (ViT proxies are more sensitive, per the paper's section VII-B
+observation).
+"""
+
+from repro.learn.ops import (
+    cross_entropy_grad,
+    cross_entropy_loss,
+    he_init,
+    relu,
+    relu_grad,
+    softmax,
+)
+from repro.learn.executor import mx_forward, mx_predict
+from repro.learn.mlp import MLPClassifier
+from repro.learn.quantized import effective_quantize
+from repro.learn.train import TrainConfig, train_sgd
+from repro.learn.metrics import accuracy, geometric_mean, windowed_accuracy
+from repro.learn.student import StudentModel, make_student
+from repro.learn.teacher import TeacherModel, make_teacher, pretraining_corpus
+
+__all__ = [
+    "MLPClassifier",
+    "StudentModel",
+    "TeacherModel",
+    "TrainConfig",
+    "accuracy",
+    "cross_entropy_grad",
+    "cross_entropy_loss",
+    "effective_quantize",
+    "geometric_mean",
+    "he_init",
+    "make_student",
+    "make_teacher",
+    "mx_forward",
+    "mx_predict",
+    "pretraining_corpus",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "train_sgd",
+    "windowed_accuracy",
+]

@@ -1,0 +1,180 @@
+"""A plain MLP classifier with hand-written backpropagation.
+
+The behavioural proxy for every student/teacher model.  Supports optional
+MX precision injection on weights and activations during the forward pass
+(see :mod:`repro.learn.quantized`), mirroring how the DaCapo hardware
+executes inference at MX6 and training at MX9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.learn.ops import (
+    cross_entropy_grad,
+    cross_entropy_loss,
+    he_init,
+    relu,
+    relu_grad,
+)
+from repro.learn.quantized import effective_quantize
+from repro.mx import MXFormat
+
+__all__ = ["MLPClassifier"]
+
+
+@dataclass
+class MLPClassifier:
+    """Fully connected ReLU classifier.
+
+    Attributes:
+        weights: Per-layer weight matrices.
+        biases: Per-layer bias vectors.
+    """
+
+    weights: list[np.ndarray]
+    biases: list[np.ndarray]
+
+    @classmethod
+    def create(
+        cls,
+        input_dim: int,
+        hidden_sizes: tuple[int, ...],
+        num_classes: int,
+        rng: np.random.Generator,
+    ) -> "MLPClassifier":
+        """He-initialized network ``input -> hidden... -> classes``."""
+        if input_dim < 1 or num_classes < 2:
+            raise ConfigurationError("invalid MLP dimensions")
+        dims = (input_dim, *hidden_sizes, num_classes)
+        weights = [
+            he_init(dims[i], dims[i + 1], rng) for i in range(len(dims) - 1)
+        ]
+        biases = [np.zeros(dims[i + 1]) for i in range(len(dims) - 1)]
+        return cls(weights=weights, biases=biases)
+
+    @property
+    def num_classes(self) -> int:
+        """Output width."""
+        return self.weights[-1].shape[1]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of weight layers."""
+        return len(self.weights)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        fmt: MXFormat | None = None,
+        sensitivity: float = 1.0,
+    ) -> np.ndarray:
+        """Logits for a batch, optionally under MX precision.
+
+        Quantization (when ``fmt`` is given) is applied to the weights and
+        to every layer's input activations, which is where the hardware
+        applies it.
+        """
+        h = np.asarray(x, dtype=np.float64)
+        if h.ndim != 2:
+            raise ConfigurationError("forward expects a 2-D batch")
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h_q = effective_quantize(h, fmt, sensitivity)
+            w_q = effective_quantize(w, fmt, sensitivity, axis=0)
+            h = h_q @ w_q + b
+            if i < self.num_layers - 1:
+                h = relu(h)
+        return h
+
+    def predict(
+        self,
+        x: np.ndarray,
+        fmt: MXFormat | None = None,
+        sensitivity: float = 1.0,
+    ) -> np.ndarray:
+        """Argmax class predictions."""
+        return np.argmax(self.forward(x, fmt, sensitivity), axis=-1)
+
+    def accuracy(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        fmt: MXFormat | None = None,
+        sensitivity: float = 1.0,
+    ) -> float:
+        """Fraction of correct predictions (empty batches score 0)."""
+        if len(x) == 0:
+            return 0.0
+        return float(np.mean(self.predict(x, fmt, sensitivity) == y))
+
+    def train_step(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        lr: float,
+        fmt: MXFormat | None = None,
+        sensitivity: float = 1.0,
+    ) -> float:
+        """One SGD step on a batch; returns the pre-step loss.
+
+        Training under MX runs the forward pass at the training precision;
+        gradients are computed against the quantized forward (straight-
+        through on the quantization error).
+        """
+        if lr <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if len(x) == 0:
+            raise ConfigurationError("cannot train on an empty batch")
+
+        # Forward, caching pre-activations and inputs per layer.
+        inputs: list[np.ndarray] = []
+        pre_acts: list[np.ndarray] = []
+        h = x
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h_q = effective_quantize(h, fmt, sensitivity)
+            w_q = effective_quantize(w, fmt, sensitivity, axis=0)
+            inputs.append(h_q)
+            z = h_q @ w_q + b
+            pre_acts.append(z)
+            h = relu(z) if i < self.num_layers - 1 else z
+
+        loss = cross_entropy_loss(h, y)
+
+        # Backward.
+        grad = cross_entropy_grad(h, y)
+        for i in reversed(range(self.num_layers)):
+            if i < self.num_layers - 1:
+                grad = grad * relu_grad(pre_acts[i])
+            grad_w = inputs[i].T @ grad
+            grad_b = grad.sum(axis=0)
+            grad = grad @ self.weights[i].T
+            self.weights[i] = self.weights[i] - lr * grad_w
+            self.biases[i] = self.biases[i] - lr * grad_b
+        return loss
+
+    def snapshot(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Deep copy of the parameters."""
+        return (
+            [w.copy() for w in self.weights],
+            [b.copy() for b in self.biases],
+        )
+
+    def restore(
+        self, state: tuple[list[np.ndarray], list[np.ndarray]]
+    ) -> None:
+        """Restore parameters from a :meth:`snapshot`."""
+        weights, biases = state
+        if len(weights) != self.num_layers or len(biases) != self.num_layers:
+            raise ConfigurationError("snapshot does not match architecture")
+        self.weights = [w.copy() for w in weights]
+        self.biases = [b.copy() for b in biases]
+
+    def clone(self) -> "MLPClassifier":
+        """Independent copy of this model."""
+        weights, biases = self.snapshot()
+        return MLPClassifier(weights=weights, biases=biases)

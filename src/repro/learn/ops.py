@@ -1,0 +1,70 @@
+"""Elementary neural-network operations with explicit gradients.
+
+Everything the MLP proxies need, implemented directly in numpy so the
+training loop is self-contained (no autograd framework available or
+required).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "he_init",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "cross_entropy_loss",
+    "cross_entropy_grad",
+]
+
+
+def he_init(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He-normal weight initialization for ReLU networks."""
+    if fan_in < 1 or fan_out < 1:
+        raise ConfigurationError("fan_in and fan_out must be >= 1")
+    scale = np.sqrt(2.0 / fan_in)
+    return rng.normal(scale=scale, size=(fan_in, fan_out))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU evaluated at the pre-activation ``x``."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_loss(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of integer ``labels`` under ``logits``."""
+    if len(logits) != len(labels):
+        raise ConfigurationError("logits and labels must align")
+    if len(labels) == 0:
+        raise ConfigurationError("cannot compute loss of an empty batch")
+    probs = softmax(logits)
+    picked = probs[np.arange(len(labels)), labels]
+    return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of the mean cross-entropy w.r.t. the logits."""
+    if len(logits) != len(labels):
+        raise ConfigurationError("logits and labels must align")
+    if len(labels) == 0:
+        raise ConfigurationError("cannot compute gradient of an empty batch")
+    grad = softmax(logits)
+    grad[np.arange(len(labels)), labels] -= 1.0
+    return grad / len(labels)

@@ -1,0 +1,44 @@
+"""MX precision-effect injection for the proxy models.
+
+Real hardware quantizes weights and activations into MX blocks; the proxy
+models reproduce that by adding the *measured* MX quantization error of each
+tensor, scaled by the model's precision sensitivity:
+
+``x_eff = x + sensitivity * (mx_quantize(x) - x)``
+
+With sensitivity 1.0 this is exactly fake quantization; larger values model
+architectures whose accuracy degrades faster than the raw numeric error
+(the paper observes this for ViTs, section VII-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mx import MXFormat, quantize
+
+__all__ = ["effective_quantize"]
+
+
+def effective_quantize(
+    x: np.ndarray,
+    fmt: MXFormat | None,
+    sensitivity: float = 1.0,
+    axis: int = -1,
+) -> np.ndarray:
+    """Apply sensitivity-scaled MX quantization error to ``x``.
+
+    Args:
+        x: Tensor to quantize.
+        fmt: MX format; ``None`` returns ``x`` unchanged (FP32 execution).
+        sensitivity: Error multiplier (1.0 = exact fake quantization).
+        axis: Blocking axis.
+    """
+    if fmt is None:
+        return np.asarray(x, dtype=np.float64)
+    if sensitivity < 0:
+        raise ConfigurationError("sensitivity must be non-negative")
+    x = np.asarray(x, dtype=np.float64)
+    error = quantize(x, fmt, axis=axis) - x
+    return x + sensitivity * error

@@ -1,0 +1,77 @@
+"""SGD training loop with the paper's retraining hyperparameters.
+
+Section VII-A: learning rate 1e-3, SGD, batch size 16.  The loop shuffles
+each epoch and reports per-epoch mean loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.learn.mlp import MLPClassifier
+from repro.mx import MXFormat
+
+__all__ = ["TrainConfig", "train_sgd"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Training hyperparameters (paper defaults).
+
+    Attributes:
+        learning_rate: SGD step size (paper: 1e-3).
+        batch_size: Mini-batch size (paper: 16).
+        epochs: Passes over the retraining set.
+        fmt: MX precision of training compute (None = FP32).
+        sensitivity: Model precision-sensitivity multiplier.
+    """
+
+    learning_rate: float = 1e-3
+    batch_size: int = 16
+    epochs: int = 1
+    fmt: MXFormat | None = None
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+
+
+def train_sgd(
+    model: MLPClassifier,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig,
+    rng: np.random.Generator,
+) -> list[float]:
+    """Train ``model`` in place; returns per-epoch mean losses."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ConfigurationError("features and labels must align")
+    if len(x) == 0:
+        raise ConfigurationError("cannot train on an empty dataset")
+
+    losses: list[float] = []
+    for _ in range(config.epochs):
+        order = rng.permutation(len(x))
+        epoch_losses: list[float] = []
+        for start in range(0, len(x), config.batch_size):
+            batch = order[start:start + config.batch_size]
+            loss = model.train_step(
+                x[batch],
+                y[batch],
+                lr=config.learning_rate,
+                fmt=config.fmt,
+                sensitivity=config.sensitivity,
+            )
+            epoch_losses.append(loss)
+        losses.append(float(np.mean(epoch_losses)))
+    return losses

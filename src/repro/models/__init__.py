@@ -1,0 +1,64 @@
+"""Architectural specs of the DNNs evaluated in the paper (Table III).
+
+The accelerator simulator does not execute real networks; it needs the exact
+sequence of GEMM shapes each network lowers to, together with parameter and
+activation footprints.  This subpackage describes the six evaluated models --
+ResNet18/34, WideResNet50/101 (width x2), ViT-B/32 and ViT-B/16 -- layer by
+layer, reproducing the parameter counts and GFLOPs the paper reports.
+
+Conventions:
+
+- FLOP counts follow the paper's Table III convention (1 MAC = 1 "FLOP",
+  attention score/value batched matmuls excluded -- the convention of common
+  FLOP-counting tools).  The full compute model used for accelerator timing
+  *includes* the attention matmuls; see :meth:`ModelGraph.macs`.
+- Convolutions lower to GEMM via im2col: ``M = out_h * out_w * batch``,
+  ``K = in_ch * kh * kw``, ``N = out_ch``.
+"""
+
+from repro.models.layers import (
+    Attention,
+    Conv2d,
+    Gemm,
+    Layer,
+    Linear,
+    Norm,
+    Pool,
+)
+from repro.models.graph import ModelGraph
+from repro.models.resnet import (
+    resnet18,
+    resnet34,
+    wide_resnet50_2,
+    wide_resnet101_2,
+)
+from repro.models.vit import vit_b_16, vit_b_32
+from repro.models.zoo import (
+    MODEL_BUILDERS,
+    MODEL_PAIRS,
+    ModelPair,
+    get_model,
+    get_pair,
+)
+
+__all__ = [
+    "Attention",
+    "Conv2d",
+    "Gemm",
+    "Layer",
+    "Linear",
+    "MODEL_BUILDERS",
+    "MODEL_PAIRS",
+    "ModelGraph",
+    "ModelPair",
+    "Norm",
+    "Pool",
+    "get_model",
+    "get_pair",
+    "resnet18",
+    "resnet34",
+    "vit_b_16",
+    "vit_b_32",
+    "wide_resnet50_2",
+    "wide_resnet101_2",
+]

@@ -1,0 +1,157 @@
+"""ResNet-family architectural specs (torchvision-equivalent shapes).
+
+Builds layer-by-layer descriptions of ResNet18/34 (BasicBlock) and
+WideResNet50-2/101-2 (Bottleneck with doubled inner width), reproducing the
+parameter counts and GFLOPs of the paper's Table III.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import Conv2d, Layer, Linear, Norm, Pool
+
+__all__ = ["resnet18", "resnet34", "wide_resnet50_2", "wide_resnet101_2"]
+
+
+def _conv_bn(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    in_size: int,
+) -> list[Layer]:
+    """A convolution followed by batch normalization (no conv bias)."""
+    conv = Conv2d(
+        name=f"{name}.conv",
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel=kernel,
+        stride=stride,
+        padding=padding,
+        in_size=in_size,
+    )
+    return [conv, Norm(name=f"{name}.bn", channels=out_channels)]
+
+
+def _basic_block(
+    name: str, inplanes: int, planes: int, stride: int, in_size: int
+) -> tuple[list[Layer], int, int]:
+    """BasicBlock: two 3x3 convs plus an optional 1x1 downsample."""
+    layers: list[Layer] = []
+    layers += _conv_bn(f"{name}.0", inplanes, planes, 3, stride, 1, in_size)
+    out_size = in_size // stride
+    layers += _conv_bn(f"{name}.1", planes, planes, 3, 1, 1, out_size)
+    if stride != 1 or inplanes != planes:
+        layers += _conv_bn(f"{name}.down", inplanes, planes, 1, stride, 0, in_size)
+    return layers, planes, out_size
+
+
+def _bottleneck_block(
+    name: str,
+    inplanes: int,
+    planes: int,
+    width: int,
+    stride: int,
+    in_size: int,
+) -> tuple[list[Layer], int, int]:
+    """Bottleneck: 1x1 reduce, 3x3 spatial, 1x1 expand (expansion 4)."""
+    expansion = 4
+    out_channels = planes * expansion
+    layers: list[Layer] = []
+    layers += _conv_bn(f"{name}.0", inplanes, width, 1, 1, 0, in_size)
+    layers += _conv_bn(f"{name}.1", width, width, 3, stride, 1, in_size)
+    out_size = in_size // stride
+    layers += _conv_bn(f"{name}.2", width, out_channels, 1, 1, 0, out_size)
+    if stride != 1 or inplanes != out_channels:
+        layers += _conv_bn(
+            f"{name}.down", inplanes, out_channels, 1, stride, 0, in_size
+        )
+    return layers, out_channels, out_size
+
+
+def _build_resnet(
+    name: str,
+    block_counts: tuple[int, int, int, int],
+    bottleneck: bool,
+    width_factor: int = 1,
+    input_size: int = 224,
+    num_classes: int = 1000,
+) -> ModelGraph:
+    """Assemble a full ResNet from its stage configuration."""
+    layers: list[Layer] = []
+    layers.append(
+        Conv2d(
+            name="conv1",
+            in_channels=3,
+            out_channels=64,
+            kernel=7,
+            stride=2,
+            padding=3,
+            in_size=input_size,
+        )
+    )
+    layers.append(Norm(name="bn1", channels=64))
+    layers.append(Pool(name="maxpool"))
+
+    size = input_size // 4  # conv1 stride 2, maxpool stride 2
+    inplanes = 64
+    stage_planes = (64, 128, 256, 512)
+    for stage, (planes, count) in enumerate(zip(stage_planes, block_counts), 1):
+        for block in range(count):
+            stride = 2 if stage > 1 and block == 0 else 1
+            block_name = f"layer{stage}.{block}"
+            if bottleneck:
+                width = planes * width_factor
+                block_layers, inplanes, size = _bottleneck_block(
+                    block_name, inplanes, planes, width, stride, size
+                )
+            else:
+                block_layers, inplanes, size = _basic_block(
+                    block_name, inplanes, planes, stride, size
+                )
+            layers.extend(block_layers)
+
+    layers.append(Pool(name="avgpool"))
+    layers.append(
+        Linear(name="fc", in_features=inplanes, out_features=num_classes)
+    )
+    return ModelGraph(
+        name=name,
+        layers=tuple(layers),
+        input_size=input_size,
+        num_classes=num_classes,
+    )
+
+
+def resnet18(input_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """ResNet-18: 11.7M params, 1.82 GFLOPs (Table III student)."""
+    return _build_resnet(
+        "resnet18", (2, 2, 2, 2), bottleneck=False,
+        input_size=input_size, num_classes=num_classes,
+    )
+
+
+def resnet34(input_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """ResNet-34: 21.8M params, 3.67 GFLOPs (Table III student)."""
+    return _build_resnet(
+        "resnet34", (3, 4, 6, 3), bottleneck=False,
+        input_size=input_size, num_classes=num_classes,
+    )
+
+
+def wide_resnet50_2(input_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """WideResNet50-2: 68.9M params, 11.43 GFLOPs (Table III teacher)."""
+    return _build_resnet(
+        "wide_resnet50_2", (3, 4, 6, 3), bottleneck=True, width_factor=2,
+        input_size=input_size, num_classes=num_classes,
+    )
+
+
+def wide_resnet101_2(input_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """WideResNet101-2: 126.9M params, 22.80 GFLOPs (Table III teacher)."""
+    return _build_resnet(
+        "wide_resnet101_2", (3, 4, 23, 3), bottleneck=True, width_factor=2,
+        input_size=input_size, num_classes=num_classes,
+    )

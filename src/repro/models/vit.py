@@ -1,0 +1,90 @@
+"""Vision Transformer architectural specs (torchvision-equivalent shapes).
+
+ViT-B/32 (student) and ViT-B/16 (teacher) from the paper's Table III.  Both
+use the Base configuration: 12 layers, 768 hidden, 12 heads, 3072 MLP.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph
+from repro.models.layers import Attention, Conv2d, Layer, Linear, Norm
+
+__all__ = ["vit_b_16", "vit_b_32"]
+
+
+def _build_vit(
+    name: str,
+    patch: int,
+    depth: int = 12,
+    dim: int = 768,
+    heads: int = 12,
+    mlp_dim: int = 3072,
+    input_size: int = 224,
+    num_classes: int = 1000,
+) -> ModelGraph:
+    """Assemble a ViT from its patch size and encoder configuration."""
+    grid = input_size // patch
+    seq = grid * grid + 1  # patches + CLS token
+
+    layers: list[Layer] = []
+    layers.append(
+        Conv2d(
+            name="patch_embed",
+            in_channels=3,
+            out_channels=dim,
+            kernel=patch,
+            stride=patch,
+            padding=0,
+            in_size=input_size,
+            bias=True,
+        )
+    )
+    # Learned CLS token and position embeddings: parameters without compute.
+    layers.append(Layer(name="cls_token", params=dim))
+    layers.append(Layer(name="pos_embed", params=seq * dim))
+
+    for i in range(depth):
+        layers.append(Norm(name=f"encoder.{i}.ln1", channels=dim))
+        layers.append(
+            Attention(name=f"encoder.{i}.attn", dim=dim, heads=heads, seq=seq)
+        )
+        layers.append(Norm(name=f"encoder.{i}.ln2", channels=dim))
+        layers.append(
+            Linear(
+                name=f"encoder.{i}.mlp.fc1",
+                in_features=dim,
+                out_features=mlp_dim,
+                tokens=seq,
+            )
+        )
+        layers.append(
+            Linear(
+                name=f"encoder.{i}.mlp.fc2",
+                in_features=mlp_dim,
+                out_features=dim,
+                tokens=seq,
+            )
+        )
+
+    layers.append(Norm(name="ln_final", channels=dim))
+    layers.append(Linear(name="head", in_features=dim, out_features=num_classes))
+    return ModelGraph(
+        name=name,
+        layers=tuple(layers),
+        input_size=input_size,
+        num_classes=num_classes,
+    )
+
+
+def vit_b_32(input_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """ViT-B/32: 88.2M params, 4.37 GFLOPs (Table III student)."""
+    return _build_vit(
+        "vit_b_32", patch=32, input_size=input_size, num_classes=num_classes
+    )
+
+
+def vit_b_16(input_size: int = 224, num_classes: int = 1000) -> ModelGraph:
+    """ViT-B/16: 86.6M params, 16.87 GFLOPs (Table III teacher)."""
+    return _build_vit(
+        "vit_b_16", patch=16, input_size=input_size, num_classes=num_classes
+    )

@@ -1,0 +1,143 @@
+"""Model registry and the paper's student/teacher pairs (Table III).
+
+Besides the architectural specs, each model carries a *proxy configuration*
+used by :mod:`repro.learn`: the capacity of the trainable numpy stand-in and
+its sensitivity to MX quantization.  Capacities are ordered
+student < teacher within each pair, and ViT proxies are marked more
+precision-sensitive, reproducing the paper's observation (section VII-B)
+that ViTs suffer disproportionately under low-precision execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.errors import ModelSpecError
+from repro.models.graph import ModelGraph
+from repro.models.resnet import (
+    resnet18,
+    resnet34,
+    wide_resnet50_2,
+    wide_resnet101_2,
+)
+from repro.models.vit import vit_b_16, vit_b_32
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "MODEL_PAIRS",
+    "ModelPair",
+    "ProxyConfig",
+    "get_model",
+    "get_pair",
+    "get_proxy_config",
+]
+
+#: Builders for every model evaluated in the paper.
+MODEL_BUILDERS: dict[str, Callable[[], ModelGraph]] = {
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "wide_resnet50_2": wide_resnet50_2,
+    "wide_resnet101_2": wide_resnet101_2,
+    "vit_b_32": vit_b_32,
+    "vit_b_16": vit_b_16,
+}
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Behavioural-proxy knobs for a model (see DESIGN.md substitutions).
+
+    Attributes:
+        hidden_sizes: Hidden-layer widths of the numpy MLP proxy; more/wider
+            layers mean a more capable (teacher-like) model.
+        precision_sensitivity: Multiplier on MX quantization noise applied to
+            the proxy; >1 models architectures that tolerate low precision
+            poorly (ViTs, per the paper).
+    """
+
+    hidden_sizes: tuple[int, ...]
+    precision_sensitivity: float = 1.0
+
+
+#: Proxy configurations, capacity-ordered within each student/teacher pair.
+#: Student widths are tuned so a student specializes well to one domain but
+#: cannot represent all domains at once (the continuous-learning headroom);
+#: teacher widths reach the task ceiling across every domain.
+PROXY_CONFIGS: dict[str, ProxyConfig] = {
+    "resnet18": ProxyConfig(hidden_sizes=(16,)),
+    "resnet34": ProxyConfig(hidden_sizes=(20,)),
+    "vit_b_32": ProxyConfig(hidden_sizes=(18,), precision_sensitivity=2.5),
+    "wide_resnet50_2": ProxyConfig(hidden_sizes=(128, 64)),
+    "vit_b_16": ProxyConfig(
+        hidden_sizes=(128, 64), precision_sensitivity=2.5
+    ),
+    "wide_resnet101_2": ProxyConfig(hidden_sizes=(160, 80)),
+}
+
+
+@dataclass(frozen=True)
+class ModelPair:
+    """A (student, teacher) pair as evaluated in the paper.
+
+    Attributes:
+        name: Short pair identifier used throughout benchmarks.
+        student: Student model name (runs inference on B-SA).
+        teacher: Teacher model name (labels samples on T-SA).
+    """
+
+    name: str
+    student: str
+    teacher: str
+
+    def student_graph(self) -> ModelGraph:
+        """Architectural spec of the student."""
+        return get_model(self.student)
+
+    def teacher_graph(self) -> ModelGraph:
+        """Architectural spec of the teacher."""
+        return get_model(self.teacher)
+
+
+#: The paper's three evaluated pairs (Table III groupings).
+MODEL_PAIRS: dict[str, ModelPair] = {
+    "resnet18_wrn50": ModelPair(
+        "resnet18_wrn50", student="resnet18", teacher="wide_resnet50_2"
+    ),
+    "vit_b32_b16": ModelPair(
+        "vit_b32_b16", student="vit_b_32", teacher="vit_b_16"
+    ),
+    "resnet34_wrn101": ModelPair(
+        "resnet34_wrn101", student="resnet34", teacher="wide_resnet101_2"
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def get_model(name: str) -> ModelGraph:
+    """Build (and cache) the architectural spec of a model by name."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_BUILDERS))
+        raise ModelSpecError(f"unknown model {name!r}; known: {known}")
+    return builder()
+
+
+def get_pair(name: str) -> ModelPair:
+    """Look up one of the paper's three model pairs by name."""
+    try:
+        return MODEL_PAIRS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_PAIRS))
+        raise ModelSpecError(f"unknown model pair {name!r}; known: {known}")
+
+
+def get_proxy_config(name: str) -> ProxyConfig:
+    """Proxy configuration for a model by name."""
+    try:
+        return PROXY_CONFIGS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROXY_CONFIGS))
+        raise ModelSpecError(f"no proxy config for {name!r}; known: {known}")

@@ -1,0 +1,61 @@
+"""MX block-floating-point arithmetic (paper Figure 6 and section V-B).
+
+MX (MicroeXponent) is the block-floating-point family DaCapo adopts from
+Rouhani et al. (ISCA 2023).  A block of 16 address-adjacent values shares an
+8-bit exponent; each sub-block of 2 values additionally carries a 1-bit
+microexponent that shifts the sub-block one binade down when both of its
+values are strictly smaller than the shared exponent, recovering one bit of
+precision.  Mantissas are sign-magnitude, truncated to 2 (MX4), 4 (MX6) or
+7 (MX9) bits.
+
+The public API:
+
+- :data:`MX4`, :data:`MX6`, :data:`MX9` -- the three formats the DaCapo
+  accelerator supports, plus :func:`format_by_name` lookup.
+- :func:`quantize_blocks` / :func:`dequantize` -- exact encode/decode to the
+  packed :class:`MXTensor` representation.
+- :func:`quantize` -- fake-quantization (encode then decode) used to inject
+  precision effects into the learning substrate.
+- :func:`mx_dot` / :func:`mx_matmul` -- dot products and GEMMs computed the
+  way the DPE hardware computes them (integer mantissa products, FP32
+  accumulation).
+"""
+
+from repro.mx.formats import (
+    FORMATS,
+    MX4,
+    MX6,
+    MX9,
+    MXFormat,
+    format_by_name,
+)
+from repro.mx.quantize import (
+    MXTensor,
+    dequantize,
+    quantize,
+    quantize_blocks,
+)
+from repro.mx.dot import mx_dot, mx_matmul
+from repro.mx.error import max_abs_error, mse, quantization_report, sqnr
+from repro.mx.packing import pack, unpack
+
+__all__ = [
+    "FORMATS",
+    "MX4",
+    "MX6",
+    "MX9",
+    "MXFormat",
+    "MXTensor",
+    "dequantize",
+    "format_by_name",
+    "max_abs_error",
+    "mse",
+    "mx_dot",
+    "mx_matmul",
+    "pack",
+    "quantization_report",
+    "quantize",
+    "quantize_blocks",
+    "sqnr",
+    "unpack",
+]

@@ -1,0 +1,78 @@
+"""Dot products and GEMMs computed the way the DPE hardware computes them.
+
+A DPE multiplies two MX-encoded 16-value blocks: integer mantissa products
+are accumulated through the hierarchical MAC tree and the FP32 generator
+applies the combined block/sub-block scales before accumulating into an FP32
+partial sum (paper Figure 7).  Because both the mantissa products and the
+power-of-two scales are exact in float64, computing with the *dequantized*
+values gives bit-identical results to the integer datapath -- a fact the test
+suite checks explicitly.  The public helpers therefore fake-quantize operands
+and use ordinary float accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.mx.formats import MXFormat
+from repro.mx.quantize import quantize
+
+__all__ = ["mx_dot", "mx_matmul"]
+
+
+def mx_dot(
+    a: np.ndarray,
+    b: np.ndarray,
+    fmt_a: MXFormat,
+    fmt_b: MXFormat | None = None,
+) -> float:
+    """Dot product of two vectors after MX quantization of each operand.
+
+    Args:
+        a: First operand, 1-D.
+        b: Second operand, 1-D, same length as ``a``.
+        fmt_a: MX format applied to ``a``.
+        fmt_b: MX format applied to ``b``; defaults to ``fmt_a``.
+
+    Returns:
+        The FP32-accumulated dot product of the quantized operands.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 1 or b.ndim != 1:
+        raise QuantizationError("mx_dot expects 1-D operands")
+    if a.shape != b.shape:
+        raise QuantizationError(
+            f"operand length mismatch: {a.shape[0]} vs {b.shape[0]}"
+        )
+    fmt_b = fmt_b or fmt_a
+    qa = quantize(a, fmt_a)
+    qb = quantize(b, fmt_b)
+    return float(np.dot(qa, qb))
+
+
+def mx_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    fmt_a: MXFormat,
+    fmt_b: MXFormat | None = None,
+) -> np.ndarray:
+    """GEMM with MX-quantized operands and FP32 accumulation.
+
+    Blocks are formed along the contraction axis of each operand (the last
+    axis of ``a`` and the first axis of ``b``), matching how the systolic
+    array streams dot-product operands.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise QuantizationError("mx_matmul expects 2-D operands")
+    if a.shape[1] != b.shape[0]:
+        raise QuantizationError(
+            f"inner dimension mismatch: {a.shape} @ {b.shape}"
+        )
+    fmt_b = fmt_b or fmt_a
+    qa = quantize(a, fmt_a, axis=1)
+    qb = quantize(b, fmt_b, axis=0)
+    return qa @ qb

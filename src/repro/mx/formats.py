@@ -1,0 +1,137 @@
+"""Definitions of the MX number formats supported by the DaCapo DPE.
+
+The paper's accelerator supports three precisions, switchable at runtime
+(section V-B):
+
+========  =============  ==================  ====================
+Format    Mantissa bits  Bits per value      DPE cycles per dot
+========  =============  ==================  ====================
+MX4       2              4                   1
+MX6       4              6                   4
+MX9       7              9                   16
+========  =============  ==================  ====================
+
+"Bits per value" amortizes the shared 8-bit block exponent over the 16-value
+block (0.5 bit/value) and the 1-bit sub-block microexponent over the 2-value
+sub-block (0.5 bit/value), which is exactly how the formats earn their names:
+``1 (sign) + mantissa + 1 (amortized exponents)``.
+
+The DPE executes a 16-wide dot product with sixteen 2-bit multipliers
+arranged in a hierarchical MAC tree.  MX4 mantissas fit a single 2-bit
+multiplier, so all 16 products issue in one cycle; MX6 (4-bit) fuses four
+multipliers per product and serializes over 4 cycles; MX9 (7-bit, padded to
+8) fuses all sixteen and serializes over 16 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Smallest and largest exponents representable by the 8-bit shared exponent.
+#: We mirror IEEE-754 single precision's normal range so any normal FP32
+#: input has a representable block exponent.
+MIN_SHARED_EXPONENT = -126
+MAX_SHARED_EXPONENT = 127
+
+
+@dataclass(frozen=True)
+class MXFormat:
+    """A concrete MX precision configuration.
+
+    Attributes:
+        name: Human-readable format name (``"MX4"``, ``"MX6"``, ``"MX9"``).
+        mantissa_bits: Stored magnitude bits per value, excluding the sign.
+        block_size: Values sharing one 8-bit exponent (paper default 16).
+        subblock_size: Values sharing one 1-bit microexponent (default 2).
+        exponent_bits: Width of the shared exponent field.
+        microexponent_bits: Width of the per-sub-block microexponent field.
+    """
+
+    name: str
+    mantissa_bits: int
+    block_size: int = 16
+    subblock_size: int = 2
+    exponent_bits: int = 8
+    microexponent_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mantissa_bits < 1:
+            raise ConfigurationError("mantissa_bits must be >= 1")
+        if self.block_size < 1:
+            raise ConfigurationError("block_size must be >= 1")
+        if self.subblock_size < 1 or self.block_size % self.subblock_size:
+            raise ConfigurationError(
+                "subblock_size must divide block_size "
+                f"(got {self.subblock_size} vs {self.block_size})"
+            )
+
+    @property
+    def subblocks_per_block(self) -> int:
+        """Number of microexponent-carrying sub-blocks per block."""
+        return self.block_size // self.subblock_size
+
+    @property
+    def bits_per_value(self) -> float:
+        """Storage cost per value, amortizing shared metadata over the block."""
+        shared = self.exponent_bits / self.block_size
+        micro = self.microexponent_bits / self.subblock_size
+        return 1 + self.mantissa_bits + shared + micro
+
+    @property
+    def block_bits(self) -> int:
+        """Total packed bits for one full block, metadata included."""
+        per_value = (1 + self.mantissa_bits) * self.block_size
+        metadata = self.exponent_bits + (
+            self.microexponent_bits * self.subblocks_per_block
+        )
+        return per_value + metadata
+
+    @property
+    def block_bytes(self) -> int:
+        """Packed block size rounded up to whole bytes (memory layout unit)."""
+        return (self.block_bits + 7) // 8
+
+    @property
+    def max_mantissa(self) -> int:
+        """Largest storable mantissa magnitude (sign-magnitude encoding)."""
+        return (1 << self.mantissa_bits) - 1
+
+    def bytes_for(self, num_values: int) -> int:
+        """Packed bytes needed to store ``num_values`` values.
+
+        Values are stored in whole blocks; a trailing partial block is padded
+        to a full block, exactly as the hardware memory interface lays it out.
+        """
+        if num_values < 0:
+            raise ConfigurationError("num_values must be non-negative")
+        blocks = (num_values + self.block_size - 1) // self.block_size
+        return blocks * self.block_bytes
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: 2-bit mantissas: lowest precision, 1 DPE cycle per 16-wide dot product.
+MX4 = MXFormat("MX4", mantissa_bits=2)
+
+#: 4-bit mantissas: the paper's choice for inference and labeling.
+MX6 = MXFormat("MX6", mantissa_bits=4)
+
+#: 7-bit mantissas: the paper's choice for retraining.
+MX9 = MXFormat("MX9", mantissa_bits=7)
+
+#: All formats the DaCapo DPE supports, in increasing precision order.
+FORMATS: tuple[MXFormat, ...] = (MX4, MX6, MX9)
+
+_BY_NAME = {fmt.name: fmt for fmt in FORMATS}
+
+
+def format_by_name(name: str) -> MXFormat:
+    """Look up one of the supported formats by name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ConfigurationError(f"unknown MX format {name!r}; known: {known}")

@@ -1,0 +1,139 @@
+"""Bit-exact packing of MX tensors into the hardware memory layout.
+
+The programmable memory interface stores each 16-value block as a packed
+bitstream: the 8-bit shared exponent (biased), eight 1-bit microexponents,
+then sixteen sign-magnitude mantissas of ``1 + mantissa_bits`` bits each,
+padded to whole bytes.  :func:`pack` and :func:`unpack` are exact inverses
+for any encoded :class:`~repro.mx.quantize.MXTensor`, and the byte counts
+match :meth:`~repro.mx.formats.MXFormat.bytes_for` -- the accounting the
+DRAM-traffic model relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.mx.formats import MIN_SHARED_EXPONENT, MXFormat
+from repro.mx.quantize import MXTensor
+
+__all__ = ["pack", "unpack"]
+
+#: Bias applied to shared exponents so they store as unsigned bytes.
+_EXPONENT_BIAS = -MIN_SHARED_EXPONENT  # 126
+
+
+def _bits_of(value: int, width: int) -> list[int]:
+    """Most-significant-bit-first bit list of a non-negative integer."""
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def _int_from_bits(bits: np.ndarray) -> int:
+    """Integer from an MSB-first bit array."""
+    out = 0
+    for bit in bits:
+        out = (out << 1) | int(bit)
+    return out
+
+
+def pack(tensor: MXTensor) -> bytes:
+    """Serialize an encoded tensor into the packed hardware layout."""
+    fmt = tensor.fmt
+    mantissas = tensor.mantissas.reshape(-1, fmt.block_size)
+    exponents = tensor.shared_exponents.reshape(-1)
+    micros = tensor.microexponents.reshape(-1, fmt.subblocks_per_block)
+
+    bits: list[int] = []
+    for block in range(len(exponents)):
+        biased = int(exponents[block]) + _EXPONENT_BIAS
+        if not 0 <= biased < (1 << fmt.exponent_bits):
+            raise QuantizationError(
+                f"shared exponent {exponents[block]} outside packable range"
+            )
+        bits.extend(_bits_of(biased, fmt.exponent_bits))
+        for micro in micros[block]:
+            bits.extend(_bits_of(int(micro), fmt.microexponent_bits))
+        for value in mantissas[block]:
+            sign = 1 if value < 0 else 0
+            magnitude = abs(int(value))
+            if magnitude > fmt.max_mantissa:
+                raise QuantizationError(
+                    f"mantissa {value} exceeds {fmt.name} range"
+                )
+            bits.append(sign)
+            bits.extend(_bits_of(magnitude, fmt.mantissa_bits))
+        # Pad each block to whole bytes (the block is the layout unit).
+        while len(bits) % 8:
+            bits.append(0)
+    return np.packbits(np.array(bits, dtype=np.uint8)).tobytes()
+
+
+def unpack(
+    payload: bytes,
+    fmt: MXFormat,
+    shape: tuple[int, ...],
+    axis: int = -1,
+) -> MXTensor:
+    """Deserialize :func:`pack` output back into an :class:`MXTensor`.
+
+    Args:
+        payload: Packed bytes.
+        fmt: The MX format used when packing.
+        shape: Logical tensor shape (pre-padding), as stored on the tensor.
+        axis: Blocking axis used when packing.
+
+    Raises:
+        QuantizationError: If the payload size does not match the shape.
+    """
+    axis = axis % len(shape)
+    length = shape[axis]
+    blocks_per_row = -(-length // fmt.block_size)
+    lead = int(np.prod(shape)) // length
+    total_blocks = lead * blocks_per_row
+    expected = total_blocks * fmt.block_bytes
+    if len(payload) != expected:
+        raise QuantizationError(
+            f"payload holds {len(payload)} bytes, expected {expected}"
+        )
+
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+    block_bits = fmt.block_bytes * 8
+
+    mantissas = np.zeros((total_blocks, fmt.block_size), dtype=np.int32)
+    exponents = np.zeros(total_blocks, dtype=np.int32)
+    micros = np.zeros(
+        (total_blocks, fmt.subblocks_per_block), dtype=np.uint8
+    )
+    for block in range(total_blocks):
+        cursor = block * block_bits
+        exponents[block] = (
+            _int_from_bits(bits[cursor:cursor + fmt.exponent_bits])
+            - _EXPONENT_BIAS
+        )
+        cursor += fmt.exponent_bits
+        for sub in range(fmt.subblocks_per_block):
+            micros[block, sub] = bits[cursor]
+            cursor += fmt.microexponent_bits
+        for lane in range(fmt.block_size):
+            sign = int(bits[cursor])
+            cursor += 1
+            magnitude = _int_from_bits(
+                bits[cursor:cursor + fmt.mantissa_bits]
+            )
+            cursor += fmt.mantissa_bits
+            mantissas[block, lane] = -magnitude if sign else magnitude
+
+    lead_shape = []
+    moved = list(shape)
+    moved.append(moved.pop(axis))
+    lead_shape = moved[:-1]
+    return MXTensor(
+        fmt=fmt,
+        mantissas=mantissas.reshape(*lead_shape, blocks_per_row,
+                                    fmt.block_size),
+        shared_exponents=exponents.reshape(*lead_shape, blocks_per_row),
+        microexponents=micros.reshape(*lead_shape, blocks_per_row,
+                                      fmt.subblocks_per_block),
+        shape=tuple(shape),
+        axis=axis,
+    )

@@ -1,0 +1,217 @@
+"""FP32 <-> MX conversion, following the paper's Figure 6 step by step.
+
+Encoding a block of 16 values:
+
+1. Take each value's binary exponent (``floor(log2 |v|)``).
+2. The *shared exponent* ``E`` is the maximum exponent in the block, clamped
+   to the 8-bit range.
+3. For each sub-block of 2 values, the *microexponent* bit is set when every
+   exponent in the sub-block is strictly below ``E``; the sub-block is then
+   scaled one binade lower (``E - 1``), recovering one mantissa bit.
+4. Mantissas are quantized to ``m`` magnitude bits (round-to-nearest-even,
+   saturating) against the sub-block scale ``2 ** (E_sub - m + 1)``.
+
+Decoding multiplies the integer mantissa back by its sub-block scale.  Both
+directions are exact integer/power-of-two arithmetic, so encode->decode is a
+pure function of the input bits -- there is no hidden floating-point fuzz
+beyond the quantization itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.mx.formats import (
+    MAX_SHARED_EXPONENT,
+    MIN_SHARED_EXPONENT,
+    MXFormat,
+)
+
+__all__ = ["MXTensor", "quantize_blocks", "dequantize", "quantize"]
+
+
+@dataclass(frozen=True)
+class MXTensor:
+    """A tensor encoded in an MX format.
+
+    The payload is stored unpacked for simulation convenience (one numpy
+    element per field) but :attr:`nbytes` reports the packed hardware size.
+
+    Attributes:
+        fmt: The MX format this tensor is encoded in.
+        mantissas: Signed integer mantissas, shape ``(*lead, blocks, block_size)``.
+        shared_exponents: Per-block shared exponents, shape ``(*lead, blocks)``.
+        microexponents: Per-sub-block 0/1 bits, shape
+            ``(*lead, blocks, subblocks_per_block)``.
+        shape: Logical (unpadded) shape of the original tensor.
+        axis: The axis of ``shape`` along which blocks were formed.
+    """
+
+    fmt: MXFormat
+    mantissas: np.ndarray
+    shared_exponents: np.ndarray
+    microexponents: np.ndarray
+    shape: tuple[int, ...]
+    axis: int
+
+    @property
+    def num_values(self) -> int:
+        """Number of logical (unpadded) values represented."""
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of hardware blocks, padding included."""
+        return int(np.prod(self.shared_exponents.shape))
+
+    @property
+    def nbytes(self) -> int:
+        """Packed storage size in bytes, as laid out by the memory interface."""
+        return self.num_blocks * self.fmt.block_bytes
+
+
+def _normalize_axis(axis: int, ndim: int) -> int:
+    if not -ndim <= axis < ndim:
+        raise QuantizationError(f"axis {axis} out of range for ndim {ndim}")
+    return axis % ndim
+
+
+def _binary_exponents(values: np.ndarray) -> np.ndarray:
+    """Per-element ``floor(log2 |v|)``, with zeros mapped to the minimum.
+
+    Uses ``frexp`` (``|v| = f * 2**e`` with ``f`` in ``[0.5, 1)``), so the
+    binary exponent is exactly ``e - 1`` without log-precision concerns.
+    """
+    _, exp = np.frexp(values)
+    exponents = exp.astype(np.int32) - 1
+    exponents[values == 0.0] = MIN_SHARED_EXPONENT
+    return exponents
+
+
+def quantize_blocks(
+    values: np.ndarray,
+    fmt: MXFormat,
+    axis: int = -1,
+    rounding: str = "nearest",
+    rng: np.random.Generator | None = None,
+) -> MXTensor:
+    """Encode ``values`` into an :class:`MXTensor`.
+
+    Args:
+        values: Real-valued array.  NaN/Inf are rejected, mirroring the
+            hardware which has no encodings for them.
+        fmt: Target MX format.
+        axis: Axis along which 16-value blocks are formed (address-adjacency
+            axis).  A trailing partial block is zero-padded.
+        rounding: ``"nearest"`` (round-to-nearest-even, the default) or
+            ``"stochastic"`` (FAST-style stochastic rounding, unbiased in
+            expectation -- useful for low-precision training studies).
+        rng: Randomness source, required for stochastic rounding.
+
+    Returns:
+        The encoded tensor.
+
+    Raises:
+        QuantizationError: On non-finite input, an empty axis, or an
+            unknown rounding mode.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise QuantizationError("MX cannot encode NaN or Inf values")
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    axis = _normalize_axis(axis, arr.ndim)
+    moved = np.moveaxis(arr, axis, -1)
+    length = moved.shape[-1]
+    if length == 0:
+        raise QuantizationError("cannot quantize along an empty axis")
+
+    blocks = -(-length // fmt.block_size)
+    padded_len = blocks * fmt.block_size
+    if padded_len != length:
+        pad = [(0, 0)] * (moved.ndim - 1) + [(0, padded_len - length)]
+        moved = np.pad(moved, pad)
+    grouped = moved.reshape(*moved.shape[:-1], blocks, fmt.block_size)
+
+    exponents = _binary_exponents(grouped)
+    shared = exponents.max(axis=-1)
+    shared = np.clip(shared, MIN_SHARED_EXPONENT, MAX_SHARED_EXPONENT)
+    shared = shared.astype(np.int32)
+
+    sub_shape = (*grouped.shape[:-1], fmt.subblocks_per_block, fmt.subblock_size)
+    sub_exponents = exponents.reshape(sub_shape)
+    sub_max = sub_exponents.max(axis=-1)
+    micro = (sub_max < shared[..., None]).astype(np.uint8)
+
+    # Effective sub-block exponent: one binade lower when the microexponent
+    # bit is set, which is what buys back a bit of precision (Figure 6).
+    effective = shared[..., None] - micro.astype(np.int32)
+    scale_exp = effective - (fmt.mantissa_bits - 1)
+    scales = np.ldexp(1.0, scale_exp)
+
+    sub_values = grouped.reshape(sub_shape)
+    scaled = sub_values / scales[..., None]
+    if rounding == "nearest":
+        quantized = np.round(scaled)
+    elif rounding == "stochastic":
+        if rng is None:
+            raise QuantizationError(
+                "stochastic rounding requires an rng argument"
+            )
+        floor = np.floor(scaled)
+        quantized = floor + (rng.random(scaled.shape) < (scaled - floor))
+    else:
+        raise QuantizationError(
+            f"unknown rounding mode {rounding!r}; "
+            "expected 'nearest' or 'stochastic'"
+        )
+    limit = float(fmt.max_mantissa)
+    quantized = np.clip(quantized, -limit, limit)
+    mantissas = quantized.reshape(grouped.shape).astype(np.int32)
+
+    return MXTensor(
+        fmt=fmt,
+        mantissas=mantissas,
+        shared_exponents=shared,
+        microexponents=micro,
+        shape=arr.shape,
+        axis=axis,
+    )
+
+
+def dequantize(tensor: MXTensor) -> np.ndarray:
+    """Decode an :class:`MXTensor` back to float64, dropping block padding."""
+    fmt = tensor.fmt
+    effective = tensor.shared_exponents[..., None] - tensor.microexponents.astype(
+        np.int32
+    )
+    scale_exp = effective - (fmt.mantissa_bits - 1)
+    scales = np.ldexp(1.0, scale_exp)
+    sub_shape = (
+        *tensor.mantissas.shape[:-1],
+        fmt.subblocks_per_block,
+        fmt.subblock_size,
+    )
+    sub_mantissas = tensor.mantissas.reshape(sub_shape).astype(np.float64)
+    decoded = (sub_mantissas * scales[..., None]).reshape(tensor.mantissas.shape)
+
+    flat = decoded.reshape(*decoded.shape[:-2], -1)
+    length = tensor.shape[tensor.axis] if tensor.shape else 1
+    flat = flat[..., :length]
+    moved_shape = list(tensor.shape)
+    moved_shape.append(moved_shape.pop(tensor.axis))
+    flat = flat.reshape(moved_shape)
+    return np.moveaxis(flat, -1, tensor.axis)
+
+
+def quantize(values: np.ndarray, fmt: MXFormat, axis: int = -1) -> np.ndarray:
+    """Fake-quantize: encode to ``fmt`` and immediately decode.
+
+    This is the workhorse used by the learning substrate to expose MX
+    precision effects to the proxy models without carrying packed tensors
+    around.
+    """
+    return dequantize(quantize_blocks(values, fmt, axis=axis))

@@ -1,0 +1,41 @@
+"""Execution platforms: GPU baselines and the DaCapo accelerator.
+
+A *platform* answers one question for the continuous-learning system: how
+many samples per second can each of the three kernels (inference, labeling,
+retraining) process, given a share of the platform's resources -- and what
+power does the platform draw while doing it.
+
+GPU platforms (Jetson Orin in its low/high power modes, RTX 3090) are
+rooflines: peak FP32 FLOPs derated by an empirical framework-efficiency
+factor.  The DaCapo platform wraps the accelerator simulator with the
+paper's precision assignment (MX9 retraining, MX6 inference/labeling) and a
+committed T-SA/B-SA partition.
+"""
+
+from repro.platform.base import KernelKind, Platform
+from repro.platform.gpu import (
+    GpuPlatform,
+    jetson_orin_high,
+    jetson_orin_low,
+    rtx_3090,
+)
+from repro.platform.dacapo import (
+    DaCapoPlatform,
+    DaCapoTimeShared,
+    build_dacapo_platform,
+)
+from repro.platform.energy import EnergyAccount, energy_ratio
+
+__all__ = [
+    "DaCapoPlatform",
+    "DaCapoTimeShared",
+    "EnergyAccount",
+    "GpuPlatform",
+    "KernelKind",
+    "Platform",
+    "build_dacapo_platform",
+    "energy_ratio",
+    "jetson_orin_high",
+    "jetson_orin_low",
+    "rtx_3090",
+]

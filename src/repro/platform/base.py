@@ -1,0 +1,47 @@
+"""The platform interface consumed by the continuous-learning system."""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol, runtime_checkable
+
+from repro.models.graph import ModelGraph
+
+__all__ = ["KernelKind", "Platform"]
+
+
+class KernelKind(enum.Enum):
+    """The three continuous-learning kernels (paper Figure 1)."""
+
+    INFERENCE = "inference"
+    LABELING = "labeling"
+    RETRAINING = "retraining"
+
+
+@runtime_checkable
+class Platform(Protocol):
+    """What a compute platform must provide to run continuous learning.
+
+    Rates are sustained samples/second.  ``share`` is the fraction of the
+    platform granted to the kernel: GPU systems time/space-share one device;
+    DaCapo ignores shares below 1.0 for inference (B-SA is dedicated) and
+    interprets the T-SA share for labeling/retraining time-sharing.
+    """
+
+    name: str
+
+    def inference_rate(self, model: ModelGraph, share: float = 1.0) -> float:
+        """Student-inference samples/second with a resource share."""
+        ...
+
+    def labeling_rate(self, model: ModelGraph, share: float = 1.0) -> float:
+        """Teacher-labeling samples/second with a resource share."""
+        ...
+
+    def training_rate(self, model: ModelGraph, share: float = 1.0) -> float:
+        """Retraining samples/second (one epoch-pass) with a resource share."""
+        ...
+
+    def average_power_w(self, utilization: float = 1.0) -> float:
+        """Average electrical power at the given utilization."""
+        ...

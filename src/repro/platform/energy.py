@@ -1,0 +1,52 @@
+"""Energy accounting across a continuous-learning run.
+
+Accumulates (wall time, busy time) segments and integrates average power.
+Backs the paper's headline claim that DaCapo consumes 254x less power than
+the Orin-high baseline (section VII-A: 60 W vs 0.236 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EnergyAccount", "energy_ratio"]
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulated energy for one platform over a run.
+
+    Attributes:
+        name: Platform name.
+        wall_time_s: Total elapsed time recorded.
+        energy_j: Integrated energy.
+    """
+
+    name: str
+    wall_time_s: float = 0.0
+    energy_j: float = 0.0
+
+    def record(
+        self, duration_s: float, power_w: float
+    ) -> None:
+        """Add a segment of ``duration_s`` at average ``power_w``."""
+        if duration_s < 0 or power_w < 0:
+            raise ConfigurationError("duration and power must be non-negative")
+        self.wall_time_s += duration_s
+        self.energy_j += duration_s * power_w
+
+    @property
+    def average_power_w(self) -> float:
+        """Run-average power (0 for an empty account)."""
+        if self.wall_time_s == 0:
+            return 0.0
+        return self.energy_j / self.wall_time_s
+
+
+def energy_ratio(baseline: EnergyAccount, candidate: EnergyAccount) -> float:
+    """How many times more energy the baseline used than the candidate."""
+    if candidate.energy_j <= 0:
+        raise ConfigurationError("candidate energy must be positive")
+    return baseline.energy_j / candidate.energy_j

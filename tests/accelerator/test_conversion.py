@@ -1,0 +1,36 @@
+"""Tests for the precision-conversion unit model."""
+
+import pytest
+
+from repro.accelerator import PrecisionConversionUnit
+from repro.errors import ConfigurationError
+from repro.mx import MX6, MXFormat
+
+
+class TestPCU:
+    def test_one_block_per_cycle(self):
+        pcu = PrecisionConversionUnit()
+        assert pcu.cycles(16, MX6) == 1
+        assert pcu.cycles(17, MX6) == 2
+        assert pcu.cycles(256, MX6) == 16
+
+    def test_training_doubles_conversion(self):
+        # Column-major copy for transposed training operands (section V-C).
+        pcu = PrecisionConversionUnit()
+        assert pcu.cycles(256, MX6, for_training=True) == 32
+
+    def test_zero_values(self):
+        assert PrecisionConversionUnit().cycles(0, MX6) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrecisionConversionUnit().cycles(-1, MX6)
+
+    def test_block_size_mismatch_rejected(self):
+        odd = MXFormat("odd", mantissa_bits=4, block_size=32, subblock_size=2)
+        with pytest.raises(ConfigurationError):
+            PrecisionConversionUnit().cycles(32, odd)
+
+    def test_invalid_throughput(self):
+        with pytest.raises(ConfigurationError):
+            PrecisionConversionUnit(values_per_cycle=0)

@@ -1,0 +1,92 @@
+"""Tests for GEMM compute timing and backward-GEMM derivation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator import SubAccelerator, backward_gemms, gemm_compute_cycles
+from repro.errors import PartitionError
+from repro.models import Gemm
+from repro.mx import MX4, MX6, MX9
+
+SUB = SubAccelerator("T-SA", rows=16, cols=16)
+
+
+class TestGemmComputeCycles:
+    def test_single_tile_single_block(self):
+        # 16x16x16 GEMM: one tile, one block dot, plus wavefront skew.
+        g = Gemm(16, 16, 16)
+        assert gemm_compute_cycles(g, MX4, SUB) == 1 + 30
+        assert gemm_compute_cycles(g, MX6, SUB) == 4 + 30
+        assert gemm_compute_cycles(g, MX9, SUB) == 16 + 30
+
+    def test_tiling_scales_cycles(self):
+        small = gemm_compute_cycles(Gemm(16, 64, 16), MX6, SUB)
+        wide = gemm_compute_cycles(Gemm(16, 64, 64), MX6, SUB)
+        tall = gemm_compute_cycles(Gemm(64, 64, 16), MX6, SUB)
+        assert wide == 4 * small
+        assert tall == 4 * small
+
+    def test_partial_tiles_round_up(self):
+        exact = gemm_compute_cycles(Gemm(16, 16, 16), MX6, SUB)
+        assert gemm_compute_cycles(Gemm(17, 16, 16), MX6, SUB) == 2 * exact
+
+    def test_fewer_rows_cost_more(self):
+        g = Gemm(256, 256, 256)
+        narrow = SubAccelerator("B-SA", rows=4, cols=16)
+        assert gemm_compute_cycles(g, MX6, narrow) > gemm_compute_cycles(
+            g, MX6, SUB
+        )
+
+    def test_empty_sub_accelerator_rejected(self):
+        empty = SubAccelerator("T-SA", rows=0)
+        with pytest.raises(PartitionError):
+            gemm_compute_cycles(Gemm(16, 16, 16), MX6, empty)
+
+
+class TestBackwardGemms:
+    def test_shapes(self):
+        dx, dw = backward_gemms(Gemm(8, 32, 4))
+        assert dx == Gemm(8, 4, 32)
+        assert dw == Gemm(32, 8, 4)
+
+    def test_total_training_macs_is_3x(self):
+        g = Gemm(8, 32, 4)
+        total = g.macs + sum(b.macs for b in backward_gemms(g))
+        assert total == 3 * g.macs
+
+
+@given(
+    m=st.integers(1, 512),
+    k=st.integers(1, 512),
+    n=st.integers(1, 512),
+    rows=st.integers(1, 16),
+)
+@settings(max_examples=100, deadline=None)
+def test_cycles_positive_and_precision_monotone(m, k, n, rows):
+    g = Gemm(m, k, n)
+    sub = SubAccelerator("T-SA", rows=rows, cols=16)
+    c4 = gemm_compute_cycles(g, MX4, sub)
+    c6 = gemm_compute_cycles(g, MX6, sub)
+    c9 = gemm_compute_cycles(g, MX9, sub)
+    assert 0 < c4 <= c6 <= c9
+
+
+@given(
+    m=st.integers(1, 256),
+    k=st.integers(1, 256),
+    n=st.integers(1, 256),
+    rows=st.integers(1, 15),
+)
+@settings(max_examples=100, deadline=None)
+def test_more_rows_never_slower(m, k, n, rows):
+    g = Gemm(m, k, n)
+    fewer = SubAccelerator("X", rows=rows, cols=16)
+    more = SubAccelerator("X", rows=rows + 1, cols=16)
+    # Wavefront skew grows with rows, but tiling shrinks; for GEMMs at least
+    # one tile tall the net effect can be a wash -- assert no pathological
+    # blowup (more rows never cost more than the skew delta per tile).
+    c_few = gemm_compute_cycles(g, MX6, fewer)
+    c_more = gemm_compute_cycles(g, MX6, more)
+    tiles_more = -(-m // more.rows) * -(-n // more.cols)
+    assert c_more <= c_few + tiles_more

@@ -1,0 +1,67 @@
+"""Tests for the per-layer timing report."""
+
+import pytest
+
+from repro.accelerator import AcceleratorSimulator, SystolicArray
+from repro.errors import PartitionError
+from repro.models import get_model
+from repro.mx import MX6
+
+SIM = AcceleratorSimulator()
+FULL = SystolicArray().full()
+
+
+class TestLayerReport:
+    def test_covers_compute_layers_only(self):
+        model = get_model("resnet18")
+        report = SIM.layer_report(model, MX6, FULL)
+        names = {row["layer"] for row in report}
+        assert "conv1" in names
+        assert "fc" in names
+        assert "bn1" not in names  # vector-unit layer, no GEMMs
+        assert "maxpool" not in names
+
+    def test_cycles_sum_close_to_forward_timing(self):
+        model = get_model("resnet18")
+        report = SIM.layer_report(model, MX6, FULL)
+        total = sum(row["cycles"] for row in report)
+        forward = SIM.forward_timing(model, MX6, FULL).cycles
+        # forward_timing adds the vector-unit overhead on top.
+        assert forward == pytest.approx(total * (1 + SIM.vector_overhead))
+
+    def test_bound_classification(self):
+        model = get_model("resnet18")
+        for row in SIM.layer_report(model, MX6, FULL):
+            assert row["bound"] in ("compute", "memory")
+            assert 0.0 <= row["utilization"] <= 1.0
+
+    def test_early_convs_are_compute_bound(self):
+        # Large spatial GEMMs with small weight tensors saturate the array.
+        model = get_model("resnet18")
+        report = {r["layer"]: r for r in SIM.layer_report(model, MX6, FULL)}
+        assert report["layer1.0.0.conv"]["bound"] == "compute"
+
+    def test_fc_matvec_pays_underutilization(self):
+        # At batch 1 a 512x1000 matvec activates a single array row, so the
+        # "compute" time is inflated by idle rows -- the batch-1
+        # underutilization the paper's labeling/training batching avoids.
+        model = get_model("resnet18")
+        single = {r["layer"]: r for r in SIM.layer_report(model, MX6, FULL)}
+        batched = {
+            r["layer"]: r for r in SIM.layer_report(model, MX6, FULL, batch=16)
+        }
+        # 16x the work costs the same array time: the rows were idle before.
+        assert batched["fc"]["cycles"] == pytest.approx(
+            single["fc"]["cycles"]
+        )
+
+    def test_empty_partition_rejected(self):
+        tsa, _ = SystolicArray().split(0)
+        with pytest.raises(PartitionError):
+            SIM.layer_report(get_model("resnet18"), MX6, tsa)
+
+    def test_macs_scale_with_batch(self):
+        model = get_model("resnet18")
+        single = SIM.layer_report(model, MX6, FULL, batch=1)
+        batched = SIM.layer_report(model, MX6, FULL, batch=4)
+        assert batched[0]["macs"] == 4 * single[0]["macs"]

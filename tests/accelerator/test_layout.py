@@ -1,0 +1,70 @@
+"""Tests for the programmable memory-interface layout programs."""
+
+import pytest
+
+from repro.accelerator import Partition, SystolicArray
+from repro.accelerator.layout import (
+    BufferSite,
+    Majorness,
+    program_layout,
+)
+from repro.errors import PartitionError
+from repro.mx import MX6, MX9
+
+PARTITION = Partition(SystolicArray(), rows_tsa=13)
+
+
+class TestProgramLayout:
+    def test_inference_targets_bottom_edge(self):
+        program = program_layout(PARTITION, "inference", MX6)
+        assert program.sub_accelerator == "B-SA"
+        assert program.placement("weight").site is BufferSite.BOTTOM
+        assert program.placement("output").site is BufferSite.BOTTOM
+
+    def test_labeling_targets_top_edge(self):
+        program = program_layout(PARTITION, "labeling", MX6)
+        assert program.sub_accelerator == "T-SA"
+        assert program.placement("weight").site is BufferSite.TOP
+
+    def test_inputs_stream_from_west(self):
+        for kernel in ("inference", "labeling", "retraining"):
+            fmt = MX9 if kernel == "retraining" else MX6
+            program = program_layout(PARTITION, kernel, fmt)
+            assert program.placement("input").site is BufferSite.WEST
+
+    def test_retraining_adds_transposed_copies(self):
+        program = program_layout(PARTITION, "retraining", MX9)
+        assert (
+            program.placement("input_transposed").majorness
+            is Majorness.COLUMN_MAJOR
+        )
+        assert (
+            program.placement("output_transposed").majorness
+            is Majorness.COLUMN_MAJOR
+        )
+        assert len(program.placements) == 5
+
+    def test_forward_kernels_are_row_major_only(self):
+        program = program_layout(PARTITION, "inference", MX6)
+        assert all(
+            p.majorness is Majorness.ROW_MAJOR for p in program.placements
+        )
+        assert len(program.placements) == 3
+
+    def test_format_recorded(self):
+        program = program_layout(PARTITION, "retraining", MX9)
+        assert program.placement("weight").fmt is MX9
+
+    def test_unknown_kernel(self):
+        with pytest.raises(PartitionError, match="unknown kernel"):
+            program_layout(PARTITION, "profiling", MX6)
+
+    def test_empty_sub_accelerator_rejected(self):
+        all_tsa = Partition(SystolicArray(), rows_tsa=16)
+        with pytest.raises(PartitionError, match="no rows"):
+            program_layout(all_tsa, "inference", MX6)
+
+    def test_missing_operand_lookup(self):
+        program = program_layout(PARTITION, "inference", MX6)
+        with pytest.raises(PartitionError, match="no operand"):
+            program.placement("bias")

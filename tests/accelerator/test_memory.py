@@ -1,0 +1,74 @@
+"""Tests for the memory interface and MX byte accounting."""
+
+import pytest
+
+from repro.accelerator import MemoryInterface
+from repro.accelerator.memory import gemm_traffic_bytes
+from repro.errors import ConfigurationError
+from repro.models import Gemm
+from repro.mx import MX4, MX6, MX9
+
+
+class TestTrafficBytes:
+    def test_components(self):
+        g = Gemm(16, 16, 16)
+        expected = MX6.bytes_for(256) + MX6.bytes_for(256) + 256 * 4
+        assert gemm_traffic_bytes(g, MX6) == expected
+
+    def test_lower_precision_less_traffic(self):
+        g = Gemm(64, 256, 64)
+        assert gemm_traffic_bytes(g, MX4) < gemm_traffic_bytes(g, MX6)
+        assert gemm_traffic_bytes(g, MX6) < gemm_traffic_bytes(g, MX9)
+
+
+class TestMemoryInterface:
+    def test_defaults_match_table4(self):
+        mem = MemoryInterface()
+        assert mem.dram_bandwidth == 204.8e9
+        assert mem.sram_bytes == 96 * 1024
+
+    def test_transfer_seconds(self):
+        mem = MemoryInterface(dram_bandwidth=1e9)
+        assert mem.transfer_seconds(1e9) == 1.0
+
+    def test_transfer_cycles(self):
+        mem = MemoryInterface(dram_bandwidth=1e9)
+        assert mem.transfer_cycles(1e9, frequency_hz=500e6) == 500e6
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryInterface().transfer_seconds(-1)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            MemoryInterface(dram_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            MemoryInterface(sram_bytes=0)
+
+
+class TestRefetch:
+    def test_small_weights_no_refetch(self):
+        mem = MemoryInterface()
+        assert mem.refetch_factor(Gemm(64, 64, 64), MX9) == 1.0
+
+    def test_large_weights_refetch(self):
+        mem = MemoryInterface()
+        # 4096 x 4096 MX9 weights = ~18.9 MB >> 48 KB budget.
+        factor = mem.refetch_factor(Gemm(16, 4096, 4096), MX9)
+        assert factor > 1.0
+
+    def test_refetch_increases_memory_cycles(self):
+        mem = MemoryInterface()
+        big = Gemm(16, 4096, 4096)
+        small = Gemm(16, 64, 64)
+        assert mem.gemm_memory_cycles(big, MX9, 500e6) > mem.gemm_memory_cycles(
+            small, MX9, 500e6
+        )
+
+    def test_higher_bandwidth_fewer_cycles(self):
+        slow = MemoryInterface(dram_bandwidth=50e9)
+        fast = MemoryInterface(dram_bandwidth=200e9)
+        g = Gemm(256, 256, 256)
+        assert fast.gemm_memory_cycles(g, MX6, 500e6) < slow.gemm_memory_cycles(
+            g, MX6, 500e6
+        )

@@ -1,0 +1,71 @@
+"""Tests for the power/area/energy model (Table IV)."""
+
+import pytest
+
+from repro.accelerator import (
+    DACAPO_AREA_MM2,
+    DACAPO_POWER_W,
+    PowerModel,
+    component_table,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTableIV:
+    def test_totals_match_paper(self):
+        model = PowerModel()
+        assert model.total_power_w == pytest.approx(DACAPO_POWER_W)
+        assert model.total_area_mm2 == pytest.approx(DACAPO_AREA_MM2)
+
+    def test_paper_constants(self):
+        assert DACAPO_POWER_W == 0.236
+        assert DACAPO_AREA_MM2 == 2.501
+
+    def test_dpe_array_dominates(self):
+        table = {c.name: c for c in component_table()}
+        assert table["dpe_array"].power_w == max(
+            c.power_w for c in component_table()
+        )
+
+    def test_static_plus_dynamic_is_total(self):
+        model = PowerModel()
+        assert model.static_power_w + model.dynamic_power_w == pytest.approx(
+            model.total_power_w
+        )
+
+
+class TestEnergy:
+    def test_idle_burns_only_static(self):
+        model = PowerModel()
+        assert model.energy_j(10.0, 0.0) == pytest.approx(
+            10.0 * model.static_power_w
+        )
+
+    def test_fully_busy_burns_total(self):
+        model = PowerModel()
+        assert model.energy_j(10.0, 10.0) == pytest.approx(
+            10.0 * model.total_power_w
+        )
+
+    def test_energy_monotone_in_busy_time(self):
+        model = PowerModel()
+        assert model.energy_j(10.0, 5.0) < model.energy_j(10.0, 9.0)
+
+    def test_busy_cannot_exceed_wall(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel().energy_j(1.0, 2.0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel().energy_j(-1.0, 0.0)
+
+    def test_average_power_bounds(self):
+        model = PowerModel()
+        assert model.average_power_w(0.0) == pytest.approx(model.static_power_w)
+        assert model.average_power_w(1.0) == pytest.approx(model.total_power_w)
+        with pytest.raises(ConfigurationError):
+            model.average_power_w(1.5)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(components=())

@@ -1,0 +1,75 @@
+"""Tests for array scaling and chiplet packaging."""
+
+import pytest
+
+from repro.accelerator import (
+    AcceleratorSimulator,
+    ChipletPackage,
+    PowerModel,
+    scaled_array,
+    scaled_power_model,
+)
+from repro.errors import ConfigurationError
+from repro.models import get_model
+from repro.mx import MX6
+
+
+class TestScaledArray:
+    def test_32x32_configuration(self):
+        array = scaled_array(32, 32)
+        assert array.num_dpes == 1024
+
+    def test_larger_array_is_faster(self):
+        sim = AcceleratorSimulator()
+        model = get_model("wide_resnet50_2")
+        small = scaled_array(16, 16).full()
+        large = scaled_array(32, 32).full()
+        assert sim.inference_throughput(
+            model, MX6, large
+        ) > sim.inference_throughput(model, MX6, small)
+
+
+class TestScaledPower:
+    def test_base_configuration_matches_table4(self):
+        scaled = scaled_power_model(16, 16)
+        base = PowerModel()
+        assert scaled.total_power_w == pytest.approx(base.total_power_w)
+        assert scaled.total_area_mm2 == pytest.approx(base.total_area_mm2)
+
+    def test_dpe_array_power_scales_quadratically(self):
+        big = scaled_power_model(32, 32)
+        table = {c.name: c for c in big.components}
+        assert table["dpe_array"].power_w == pytest.approx(4 * 0.150)
+        # Shared memory interface does not scale.
+        assert table["memory_interface"].power_w == pytest.approx(0.014)
+
+    def test_row_scaled_components(self):
+        big = scaled_power_model(32, 16)
+        table = {c.name: c for c in big.components}
+        assert table["sram_96kb"].power_w == pytest.approx(2 * 0.040)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            scaled_power_model(0, 16)
+
+
+class TestChipletPackage:
+    def test_single_chip_identity(self):
+        package = ChipletPackage(chips=1)
+        assert package.throughput_scale() == 1.0
+        assert package.power_w() == pytest.approx(0.236)
+
+    def test_multi_chip_scaling(self):
+        package = ChipletPackage(chips=4)
+        assert package.throughput_scale() == pytest.approx(3.6)
+        assert package.power_w() == pytest.approx(4 * 0.236)
+        assert package.area_mm2() == pytest.approx(4 * 2.501)
+
+    def test_coordination_overhead_bounds(self):
+        assert ChipletPackage(4).throughput_scale() < 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChipletPackage(chips=0)
+        with pytest.raises(ConfigurationError):
+            ChipletPackage(chips=2, coordination_efficiency=0)

@@ -1,0 +1,83 @@
+"""Tests for array geometry and partitioning."""
+
+import pytest
+
+from repro.accelerator import Partition, SubAccelerator, SystolicArray
+from repro.errors import PartitionError
+
+
+class TestSystolicArray:
+    def test_prototype_defaults(self):
+        arr = SystolicArray()
+        assert (arr.rows, arr.cols) == (16, 16)
+        assert arr.frequency_hz == 500e6
+        assert arr.num_dpes == 256
+
+    def test_full_view(self):
+        full = SystolicArray().full()
+        assert full.rows == 16
+        assert full.name == "FULL"
+
+    def test_split_partitions_all_rows(self):
+        tsa, bsa = SystolicArray().split(10)
+        assert tsa.rows == 10
+        assert bsa.rows == 6
+        assert (tsa.name, bsa.name) == ("T-SA", "B-SA")
+
+    def test_split_bounds(self):
+        arr = SystolicArray()
+        with pytest.raises(PartitionError):
+            arr.split(-1)
+        with pytest.raises(PartitionError):
+            arr.split(17)
+
+    def test_split_extremes_allowed(self):
+        tsa, bsa = SystolicArray().split(0)
+        assert tsa.is_empty
+        assert bsa.rows == 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(PartitionError):
+            SystolicArray(rows=0)
+        with pytest.raises(PartitionError):
+            SystolicArray(frequency_hz=0)
+
+    def test_scaled_configuration(self):
+        # Section VII-A: DaCapo could scale to 32x32.
+        big = SystolicArray(rows=32, cols=32)
+        assert big.num_dpes == 1024
+
+
+class TestSubAccelerator:
+    def test_seconds(self):
+        sub = SubAccelerator("T-SA", rows=8, frequency_hz=500e6)
+        assert sub.seconds(500e6) == 1.0
+
+    def test_num_dpes(self):
+        assert SubAccelerator("B-SA", rows=4, cols=16).num_dpes == 64
+
+    def test_invalid(self):
+        with pytest.raises(PartitionError):
+            SubAccelerator("X", rows=-1)
+
+
+class TestPartition:
+    def test_views_are_consistent(self):
+        part = Partition(SystolicArray(), rows_tsa=12)
+        assert part.tsa.rows == 12
+        assert part.bsa.rows == 4
+        assert part.rows_bsa == 4
+
+    def test_describe(self):
+        text = Partition(SystolicArray(), rows_tsa=12).describe()
+        assert "12" in text and "4" in text
+
+    def test_bounds(self):
+        with pytest.raises(PartitionError):
+            Partition(SystolicArray(), rows_tsa=20)
+
+    def test_frequency_propagates(self):
+        arr = SystolicArray(frequency_hz=1e9)
+        part = Partition(arr, rows_tsa=8)
+        assert part.tsa.frequency_hz == 1e9
+        assert part.bsa.frequency_hz == 1e9

@@ -1,0 +1,114 @@
+"""Tests for the sample buffer, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SampleBuffer
+from repro.errors import ScheduleError
+
+
+def filled(capacity=10, count=5, dim=3):
+    buf = SampleBuffer(capacity, feature_dim=dim)
+    buf.add(np.arange(count * dim, dtype=float).reshape(count, dim),
+            np.arange(count))
+    return buf
+
+
+class TestAdd:
+    def test_length_tracks_additions(self):
+        buf = filled(count=5)
+        assert len(buf) == 5
+
+    def test_fifo_eviction(self):
+        buf = SampleBuffer(3, feature_dim=1)
+        buf.add(np.array([[0.0], [1.0], [2.0], [3.0]]), np.arange(4))
+        assert len(buf) == 3
+        np.testing.assert_array_equal(buf.labels, [1, 2, 3])
+
+    def test_eviction_across_calls(self):
+        buf = SampleBuffer(2, feature_dim=1)
+        buf.add(np.array([[0.0]]), np.array([0]))
+        buf.add(np.array([[1.0]]), np.array([1]))
+        buf.add(np.array([[2.0]]), np.array([2]))
+        np.testing.assert_array_equal(buf.labels, [1, 2])
+
+    def test_shape_validation(self):
+        buf = SampleBuffer(4, feature_dim=3)
+        with pytest.raises(ScheduleError):
+            buf.add(np.zeros((2, 4)), np.zeros(2))
+        with pytest.raises(ScheduleError):
+            buf.add(np.zeros((2, 3)), np.zeros(3))
+
+
+class TestReset:
+    def test_reset_empties(self):
+        buf = filled()
+        buf.reset()
+        assert len(buf) == 0
+
+    def test_usable_after_reset(self):
+        buf = filled()
+        buf.reset()
+        buf.add(np.ones((2, 3)), np.array([7, 8]))
+        assert len(buf) == 2
+
+
+class TestDraw:
+    def test_disjoint_sets(self):
+        buf = filled(capacity=100, count=50)
+        rng = np.random.default_rng(0)
+        (xt, yt), (xv, yv) = buf.draw(30, 10, rng)
+        assert len(xt) == 30 and len(xv) == 10
+        train_rows = {tuple(row) for row in xt}
+        val_rows = {tuple(row) for row in xv}
+        assert train_rows.isdisjoint(val_rows)
+
+    def test_scales_down_when_short(self):
+        buf = filled(capacity=100, count=10)
+        rng = np.random.default_rng(1)
+        (xt, _), (xv, _) = buf.draw(30, 10, rng)
+        assert 1 <= len(xv)
+        assert len(xt) + len(xv) <= 10
+
+    def test_empty_raises(self):
+        buf = SampleBuffer(4, feature_dim=2)
+        with pytest.raises(ScheduleError):
+            buf.draw(2, 1, np.random.default_rng(0))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ScheduleError):
+            SampleBuffer(0, feature_dim=2)
+        with pytest.raises(ScheduleError):
+            SampleBuffer(4, feature_dim=0)
+
+
+@given(
+    capacity=st.integers(1, 50),
+    batches=st.lists(st.integers(1, 20), min_size=1, max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_never_exceeds_capacity(capacity, batches):
+    buf = SampleBuffer(capacity, feature_dim=2)
+    total = 0
+    for count in batches:
+        buf.add(np.zeros((count, 2)), np.arange(count))
+        total += count
+        assert len(buf) == min(total, capacity)
+
+
+@given(
+    count=st.integers(2, 60),
+    num_train=st.integers(1, 80),
+    num_val=st.integers(1, 40),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=100, deadline=None)
+def test_draw_never_overlaps_or_overflows(count, num_train, num_val, seed):
+    buf = SampleBuffer(100, feature_dim=1)
+    buf.add(np.arange(count, dtype=float)[:, None], np.arange(count))
+    (xt, yt), (xv, yv) = buf.draw(num_train, num_val, np.random.default_rng(seed))
+    assert len(xt) >= 1 and len(xv) >= 1
+    assert len(xt) + len(xv) <= count
+    assert set(yt.tolist()).isdisjoint(set(yv.tolist()))

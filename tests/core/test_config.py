@@ -1,0 +1,53 @@
+"""Tests for the Table I hyperparameter configuration."""
+
+import pytest
+
+from repro.core import DaCapoConfig, hyperparameter_table
+from repro.errors import ConfigurationError
+
+
+class TestDaCapoConfig:
+    def test_paper_relations(self):
+        config = DaCapoConfig()
+        # Section VI-B: Nv = Nt / 3, Nldd = 4 * Nl.
+        assert config.num_validation == config.num_train // 3
+        assert config.num_label_drift == 4 * config.num_label
+
+    def test_paper_stream_parameters(self):
+        config = DaCapoConfig()
+        assert config.frame_rate == 30.0
+        assert config.batch_size == 16
+
+    def test_vthr_must_be_negative(self):
+        with pytest.raises(ConfigurationError):
+            DaCapoConfig(drift_threshold=0.05)
+
+    def test_buffer_must_hold_nt(self):
+        with pytest.raises(ConfigurationError):
+            DaCapoConfig(num_train=512, buffer_capacity=256)
+
+    def test_positive_counts_required(self):
+        with pytest.raises(ConfigurationError):
+            DaCapoConfig(num_train=0)
+        with pytest.raises(ConfigurationError):
+            DaCapoConfig(num_label=0)
+        with pytest.raises(ConfigurationError):
+            DaCapoConfig(epochs=0)
+        with pytest.raises(ConfigurationError):
+            DaCapoConfig(learning_rate=0)
+
+    def test_nv_at_least_one(self):
+        assert DaCapoConfig(num_train=2, buffer_capacity=16).num_validation == 1
+
+
+class TestHyperparameterTable:
+    def test_covers_table1_symbols(self):
+        rows = hyperparameter_table()
+        symbols = {row["symbol"] for row in rows}
+        assert symbols == {"Nt", "Nv", "Nl", "Nldd", "Cb", "Vthr"}
+
+    def test_values_consistent_with_config(self):
+        config = DaCapoConfig()
+        rows = {r["symbol"]: r["value"] for r in hyperparameter_table(config)}
+        assert rows["Nt"] == config.num_train
+        assert rows["Nldd"] == config.num_label_drift

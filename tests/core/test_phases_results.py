@@ -1,0 +1,95 @@
+"""Tests for phase records and run results."""
+
+import numpy as np
+import pytest
+
+from repro.core import PhaseKind, PhaseRecord, RunResult
+from repro.core.phases import phase_time_breakdown
+from repro.errors import ScheduleError
+
+
+class TestPhaseRecord:
+    def test_duration(self):
+        assert PhaseRecord(PhaseKind.RETRAIN, 1.0, 4.0).duration_s == 3.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ScheduleError):
+            PhaseRecord(PhaseKind.LABEL, 5.0, 4.0)
+
+    def test_breakdown(self):
+        phases = [
+            PhaseRecord(PhaseKind.RETRAIN, 0, 10),
+            PhaseRecord(PhaseKind.LABEL, 10, 15),
+            PhaseRecord(PhaseKind.RETRAIN, 15, 25),
+        ]
+        totals = phase_time_breakdown(phases)
+        assert totals[PhaseKind.RETRAIN] == 20
+        assert totals[PhaseKind.LABEL] == 5
+        assert totals[PhaseKind.IDLE] == 0
+
+
+def make_result(correct=None, dropped=None, phases=()):
+    n = 60
+    times = np.arange(n) / 2.0  # 30 seconds at 2 fps
+    if correct is None:
+        correct = np.ones(n, dtype=bool)
+    if dropped is None:
+        dropped = np.zeros(n, dtype=bool)
+    return RunResult(
+        system="test", scenario="S1", pair="resnet18_wrn50",
+        times=times, correct=correct, dropped=dropped,
+        phases=tuple(phases), duration_s=30.0,
+        energy_j=60.0, average_power_w=2.0,
+    )
+
+
+class TestRunResult:
+    def test_average_accuracy_all_correct(self):
+        assert make_result().average_accuracy() == 1.0
+
+    def test_windowed_metric_weighs_windows_equally(self):
+        correct = np.ones(60, dtype=bool)
+        correct[:30] = False  # first 15 s wrong
+        result = make_result(correct=correct)
+        assert result.average_accuracy(window_s=15.0) == pytest.approx(0.5)
+
+    def test_frame_drop_rate(self):
+        dropped = np.zeros(60, dtype=bool)
+        dropped[:15] = True
+        assert make_result(dropped=dropped).frame_drop_rate == 0.25
+
+    def test_phase_queries(self):
+        phases = [
+            PhaseRecord(PhaseKind.RETRAIN, 0, 10, samples=100),
+            PhaseRecord(PhaseKind.LABEL, 10, 20, samples=50,
+                        drift_detected=True),
+            PhaseRecord(PhaseKind.LABEL, 20, 30, samples=150),
+        ]
+        result = make_result(phases=phases)
+        assert result.retraining_completions() == (10,)
+        assert result.drift_detections() == (20,)
+        retrain, label = result.retrain_label_ratio()
+        assert retrain == pytest.approx(1 / 3)
+        assert label == pytest.approx(2 / 3)
+
+    def test_ratio_with_no_phases(self):
+        assert make_result().retrain_label_ratio() == (0.0, 0.0)
+
+    def test_accuracy_series_length(self):
+        starts, series = make_result().accuracy_series(window_s=15.0)
+        assert len(starts) == 2
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        for key in ("system", "scenario", "average_accuracy",
+                    "frame_drop_rate", "energy_j"):
+            assert key in summary
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ScheduleError):
+            RunResult(
+                system="x", scenario="S1", pair="p",
+                times=np.zeros(3), correct=np.zeros(2, dtype=bool),
+                dropped=np.zeros(3, dtype=bool), phases=(),
+                duration_s=1.0, energy_j=0.0, average_power_w=0.0,
+            )

@@ -1,0 +1,120 @@
+"""Integration tests for the DaCapo system and the run loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import DaCapoConfig, PhaseKind, build_system, run_on_scenario
+from repro.data import build_scenario
+
+PAIR = "resnet18_wrn50"
+SHORT = 180.0  # seconds; keeps integration tests quick
+
+
+@pytest.fixture(scope="module")
+def st_result():
+    system = build_system("DaCapo-Spatiotemporal", PAIR)
+    return run_on_scenario(system, "S5", seed=0, duration_s=SHORT)
+
+
+class TestRunLoop:
+    def test_every_frame_scored(self, st_result):
+        assert len(st_result.times) == int(SHORT * 30)
+
+    def test_phases_tile_the_run(self, st_result):
+        phases = st_result.phases
+        assert phases[0].start_s == 0.0
+        for prev, nxt in zip(phases, phases[1:]):
+            assert nxt.start_s == pytest.approx(prev.end_s)
+        assert phases[-1].end_s == pytest.approx(SHORT)
+
+    def test_no_frame_drops_on_dacapo(self, st_result):
+        # Spatial allocation guarantees B-SA keeps up with 30 FPS.
+        assert st_result.frame_drop_rate == 0.0
+
+    def test_alternates_retrain_and_label(self, st_result):
+        kinds = [p.kind for p in st_result.phases]
+        assert PhaseKind.RETRAIN in kinds
+        assert PhaseKind.LABEL in kinds
+        # First phase is labeling (buffer bootstraps empty).
+        assert kinds[0] is PhaseKind.LABEL
+
+    def test_accuracy_meaningful(self, st_result):
+        assert 0.5 < st_result.average_accuracy() < 1.0
+
+    def test_power_matches_table4(self, st_result):
+        assert st_result.average_power_w == pytest.approx(0.236)
+
+    def test_deterministic(self):
+        a = run_on_scenario(
+            build_system("DaCapo-Spatiotemporal", PAIR), "S5",
+            seed=3, duration_s=SHORT,
+        )
+        b = run_on_scenario(
+            build_system("DaCapo-Spatiotemporal", PAIR), "S5",
+            seed=3, duration_s=SHORT,
+        )
+        np.testing.assert_array_equal(a.correct, b.correct)
+        assert a.average_accuracy() == b.average_accuracy()
+
+    def test_seed_changes_trajectory(self):
+        a = run_on_scenario(
+            build_system("DaCapo-Spatiotemporal", PAIR), "S5",
+            seed=1, duration_s=SHORT,
+        )
+        b = run_on_scenario(
+            build_system("DaCapo-Spatiotemporal", PAIR), "S5",
+            seed=2, duration_s=SHORT,
+        )
+        assert not np.array_equal(a.correct, b.correct)
+
+
+class TestDriftResponse:
+    def test_drift_detection_and_escalated_labeling(self):
+        # S5 drifts geometry (time + location); a long enough run must show
+        # detections followed by escalated labeling phases.
+        system = build_system("DaCapo-Spatiotemporal", PAIR)
+        result = run_on_scenario(system, "S5", seed=0, duration_s=600)
+        drifts = result.drift_detections()
+        assert len(drifts) >= 1
+        # After each detection the very next phase is an extension labeling.
+        for t in drifts:
+            following = [p for p in result.phases if p.start_s >= t]
+            assert following[0].kind is PhaseKind.LABEL
+
+    def test_static_scenario_stays_calm(self):
+        # S1 keeps the geometry fixed; false drift alarms should be rare.
+        system = build_system("DaCapo-Spatiotemporal", PAIR)
+        result = run_on_scenario(system, "S1", seed=0, duration_s=600)
+        assert len(result.drift_detections()) <= 2
+
+    def test_temporal_allocator_shifts_time_to_labeling_under_drift(self):
+        calm = run_on_scenario(
+            build_system("DaCapo-Spatiotemporal", PAIR), "S1",
+            seed=0, duration_s=600,
+        )
+        drifty = run_on_scenario(
+            build_system("DaCapo-Spatiotemporal", PAIR), "S5",
+            seed=0, duration_s=600,
+        )
+        _, calm_label = calm.retrain_label_ratio()
+        _, drifty_label = drifty.retrain_label_ratio()
+        assert drifty_label > calm_label
+
+
+class TestConfigInteraction:
+    def test_custom_config_respected(self):
+        config = DaCapoConfig(num_label=128, num_train=128,
+                              buffer_capacity=512)
+        system = build_system("DaCapo-Spatiotemporal", PAIR, config=config)
+        result = run_on_scenario(system, "S1", seed=0, duration_s=SHORT)
+        label_phases = [
+            p for p in result.phases
+            if p.kind is PhaseKind.LABEL and not p.drift_detected
+        ]
+        assert all(p.samples <= 128 for p in label_phases)
+
+    def test_stream_object_accepted(self):
+        stream = build_scenario("S1", duration_s=SHORT)
+        system = build_system("DaCapo-Spatiotemporal", PAIR)
+        result = run_on_scenario(system, stream, seed=0)
+        assert result.scenario == "S1"

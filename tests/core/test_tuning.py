@@ -1,0 +1,62 @@
+"""Tests for the offline hyperparameter tuner (section VI-D)."""
+
+import pytest
+
+from repro.core import DaCapoConfig, tune_hyperparameters
+from repro.core.tuning import default_search_space
+from repro.errors import ConfigurationError
+
+
+class TestSearchSpace:
+    def test_default_space_fields_exist_on_config(self):
+        config = DaCapoConfig()
+        for field in default_search_space():
+            assert hasattr(config, field)
+
+
+class TestTuner:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        # A deliberately tiny search so the test stays fast.
+        return tune_hyperparameters(
+            "resnet18_wrn50",
+            scenarios=("S5",),
+            search_space={
+                "num_label": (256, 384),
+                "drift_threshold": (-0.12, -0.05),
+            },
+            duration_s=120.0,
+        )
+
+    def test_explores_full_grid(self, outcome):
+        assert len(outcome.trials) == 4
+
+    def test_trials_ranked_best_first(self, outcome):
+        scores = [score for _, score in outcome.trials]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_best_matches_top_trial(self, outcome):
+        assert outcome.best is outcome.trials[0][0]
+        assert outcome.best_score == outcome.trials[0][1]
+
+    def test_best_is_valid_config(self, outcome):
+        assert isinstance(outcome.best, DaCapoConfig)
+        assert outcome.best.num_label in (256, 384)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tune_hyperparameters(
+                "resnet18_wrn50", search_space={}, duration_s=60.0
+            )
+
+    def test_invalid_combinations_skipped(self):
+        # num_train larger than buffer capacity is invalid and must be
+        # skipped rather than crash the search.
+        outcome = tune_hyperparameters(
+            "resnet18_wrn50",
+            scenarios=("S1",),
+            search_space={"num_train": (128, 4096)},
+            duration_s=60.0,
+        )
+        assert len(outcome.trials) == 1
+        assert outcome.best.num_train == 128

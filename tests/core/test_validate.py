@@ -1,0 +1,109 @@
+"""Tests for schedule-trace validation, including property-based system runs.
+
+``validate_run`` encodes the simulator's contract; the property tests below
+run real systems under randomized configurations/seeds and require every
+produced trace to satisfy it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DaCapoConfig, build_system, run_on_scenario, validate_run
+from repro.core.phases import PhaseKind, PhaseRecord
+from repro.core.results import RunResult
+from repro.errors import ScheduleError
+
+
+def make_result(phases, duration=30.0, n=60):
+    times = np.linspace(0, duration, n, endpoint=False)
+    return RunResult(
+        system="x", scenario="S1", pair="p",
+        times=times, correct=np.ones(n, dtype=bool),
+        dropped=np.zeros(n, dtype=bool), phases=tuple(phases),
+        duration_s=duration, energy_j=1.0, average_power_w=1.0,
+    )
+
+
+class TestInvariantViolations:
+    def test_clean_trace_passes(self):
+        phases = [
+            PhaseRecord(PhaseKind.RETRAIN, 0, 10),
+            PhaseRecord(PhaseKind.LABEL, 10, 30),
+        ]
+        validate_run(make_result(phases))
+
+    def test_overlap_detected(self):
+        phases = [
+            PhaseRecord(PhaseKind.RETRAIN, 0, 12),
+            PhaseRecord(PhaseKind.LABEL, 10, 30),
+        ]
+        with pytest.raises(ScheduleError, match="overlap"):
+            validate_run(make_result(phases))
+
+    def test_gap_detected(self):
+        phases = [
+            PhaseRecord(PhaseKind.RETRAIN, 0, 10),
+            PhaseRecord(PhaseKind.LABEL, 15, 30),
+        ]
+        with pytest.raises(ScheduleError, match="gap"):
+            validate_run(make_result(phases))
+
+    def test_trailing_time_detected(self):
+        phases = [PhaseRecord(PhaseKind.RETRAIN, 0, 10)]
+        with pytest.raises(ScheduleError, match="unaccounted"):
+            validate_run(make_result(phases))
+
+    def test_overrun_detected(self):
+        phases = [PhaseRecord(PhaseKind.RETRAIN, 0, 31)]
+        with pytest.raises(ScheduleError, match="past the run"):
+            validate_run(make_result(phases))
+
+    def test_dropped_scored_correct_detected(self):
+        result = make_result([PhaseRecord(PhaseKind.IDLE, 0, 30)])
+        bad = RunResult(
+            system="x", scenario="S1", pair="p",
+            times=result.times, correct=np.ones(60, dtype=bool),
+            dropped=np.ones(60, dtype=bool), phases=result.phases,
+            duration_s=30.0, energy_j=1.0, average_power_w=1.0,
+        )
+        with pytest.raises(ScheduleError, match="dropped"):
+            validate_run(bad)
+
+    def test_drift_without_escalation_detected(self):
+        phases = [
+            PhaseRecord(PhaseKind.LABEL, 0, 10, drift_detected=True),
+            PhaseRecord(PhaseKind.RETRAIN, 10, 30),
+        ]
+        with pytest.raises(ScheduleError, match="escalated"):
+            validate_run(make_result(phases))
+
+    def test_trailing_drift_tolerated(self):
+        phases = [
+            PhaseRecord(PhaseKind.RETRAIN, 0, 10),
+            PhaseRecord(PhaseKind.LABEL, 10, 30, drift_detected=True),
+        ]
+        validate_run(make_result(phases))
+
+
+@given(
+    system=st.sampled_from(
+        ["DaCapo-Spatiotemporal", "OrinHigh-Ekya", "OrinHigh-EOMU"]
+    ),
+    scenario=st.sampled_from(["S1", "S5"]),
+    seed=st.integers(0, 5),
+    num_label=st.sampled_from([128, 384]),
+    multiplier=st.sampled_from([2, 4]),
+)
+@settings(max_examples=12, deadline=None)
+def test_every_real_trace_validates(
+    system, scenario, seed, num_label, multiplier
+):
+    config = DaCapoConfig(
+        num_label=num_label, drift_label_multiplier=multiplier
+    )
+    instance = build_system(system, "resnet18_wrn50", config=config,
+                            seed=seed)
+    result = run_on_scenario(instance, scenario, seed=seed, duration_s=120)
+    validate_run(result)

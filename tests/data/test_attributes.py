@@ -1,0 +1,46 @@
+"""Tests for domain attributes."""
+
+from repro.data import (
+    ALL_CLASSES,
+    TRAFFIC_CLASSES,
+    Domain,
+    LabelDistribution,
+    Location,
+    TimeOfDay,
+    Weather,
+)
+
+
+class TestClasses:
+    def test_traffic_subset_of_all(self):
+        assert set(TRAFFIC_CLASSES) < set(ALL_CLASSES)
+
+    def test_counts(self):
+        assert len(TRAFFIC_CLASSES) == 5
+        assert len(ALL_CLASSES) == 10
+
+    def test_label_distribution_classes(self):
+        assert LabelDistribution.TRAFFIC_ONLY.classes == TRAFFIC_CLASSES
+        assert LabelDistribution.ALL.classes == ALL_CLASSES
+
+
+class TestDomain:
+    def test_defaults(self):
+        d = Domain()
+        assert d.labels is LabelDistribution.TRAFFIC_ONLY
+        assert d.time is TimeOfDay.DAYTIME
+        assert d.location is Location.CITY
+        assert d.weather is Weather.CLEAR
+
+    def test_with_replaces(self):
+        d = Domain().with_(time=TimeOfDay.NIGHT)
+        assert d.time is TimeOfDay.NIGHT
+        assert d.location is Location.CITY
+
+    def test_equality_drives_drift_detection(self):
+        assert Domain() == Domain()
+        assert Domain() != Domain().with_(location=Location.HIGHWAY)
+
+    def test_describe(self):
+        text = Domain().describe()
+        assert "daytime" in text and "city" in text

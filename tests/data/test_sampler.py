@@ -1,0 +1,73 @@
+"""Tests for the frame samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import stratified_indices, uniform_sample_indices
+from repro.errors import ScenarioError
+
+
+class TestUniformSample:
+    def test_rate_determines_count(self):
+        rng = np.random.default_rng(0)
+        idx = uniform_sample_indices(1000, 0.05, rng)
+        assert len(idx) == 50
+
+    def test_sorted_and_unique(self):
+        rng = np.random.default_rng(1)
+        idx = uniform_sample_indices(100, 0.5, rng)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_full_rate(self):
+        rng = np.random.default_rng(2)
+        idx = uniform_sample_indices(10, 1.0, rng)
+        np.testing.assert_array_equal(idx, np.arange(10))
+
+    def test_zero_frames(self):
+        rng = np.random.default_rng(3)
+        assert len(uniform_sample_indices(0, 0.5, rng)) == 0
+
+    def test_invalid_rate(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ScenarioError):
+            uniform_sample_indices(10, 0.0, rng)
+        with pytest.raises(ScenarioError):
+            uniform_sample_indices(10, 1.5, rng)
+
+    def test_negative_frames(self):
+        with pytest.raises(ScenarioError):
+            uniform_sample_indices(-5, 0.5, np.random.default_rng(0))
+
+
+class TestStratified:
+    def test_caps_per_class(self):
+        labels = np.array([0] * 10 + [1] * 2)
+        idx = stratified_indices(labels, per_class=3, rng=np.random.default_rng(0))
+        picked = labels[idx]
+        assert np.sum(picked == 0) == 3
+        assert np.sum(picked == 1) == 2
+
+    def test_empty_labels(self):
+        idx = stratified_indices(np.array([]), 3, np.random.default_rng(0))
+        assert len(idx) == 0
+
+    def test_invalid_per_class(self):
+        with pytest.raises(ScenarioError):
+            stratified_indices(np.array([0]), 0, np.random.default_rng(0))
+
+
+@given(
+    n=st.integers(1, 2000),
+    rate=st.floats(0.01, 1.0),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=100, deadline=None)
+def test_uniform_sample_invariants(n, rate, seed):
+    idx = uniform_sample_indices(n, rate, np.random.default_rng(seed))
+    assert len(idx) == min(n, int(round(n * rate)))
+    if len(idx):
+        assert idx.min() >= 0
+        assert idx.max() < n
+        assert len(np.unique(idx)) == len(idx)

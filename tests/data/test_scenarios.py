@@ -1,0 +1,99 @@
+"""Tests for the Table II scenario builders."""
+
+import pytest
+
+from repro.data import SCENARIO_NAMES, build_scenario, scenario_table
+from repro.data.attributes import LabelDistribution, Location, TimeOfDay, Weather
+from repro.errors import ScenarioError
+
+
+class TestBuildScenario:
+    def test_all_names_build(self):
+        for name in SCENARIO_NAMES:
+            stream = build_scenario(name, duration_s=300)
+            assert stream.name == name
+            assert stream.duration_s == 300
+
+    def test_default_duration_is_20_minutes(self):
+        stream = build_scenario("S1")
+        assert stream.duration_s == 1200
+        assert stream.num_frames == 36000
+
+    def test_unknown_name(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            build_scenario("S9")
+
+    def test_invalid_duration(self):
+        with pytest.raises(ScenarioError):
+            build_scenario("S1", duration_s=0)
+
+    def test_deterministic(self):
+        a = build_scenario("S3")
+        b = build_scenario("S3")
+        assert a.segments == b.segments
+
+    def test_scenarios_have_drifts(self):
+        for name in SCENARIO_NAMES:
+            assert len(build_scenario(name).drift_times()) >= 3
+
+
+class TestTableIIConstraints:
+    def test_s1_fixes_everything_but_labels(self):
+        stream = build_scenario("S1")
+        for segment in stream.segments:
+            assert segment.domain.weather is Weather.CLEAR
+            assert segment.domain.time is TimeOfDay.DAYTIME
+            assert segment.domain.location is Location.CITY
+        label_values = {s.domain.labels for s in stream.segments}
+        assert label_values == {
+            LabelDistribution.TRAFFIC_ONLY, LabelDistribution.ALL
+        }
+
+    def test_s2_overcast(self):
+        for segment in build_scenario("S2").segments:
+            assert segment.domain.weather is Weather.OVERCAST
+
+    def test_s3_drifts_time_not_location(self):
+        stream = build_scenario("S3")
+        times = {s.domain.time for s in stream.segments}
+        locations = {s.domain.location for s in stream.segments}
+        assert len(times) == 2
+        assert locations == {Location.CITY}
+
+    def test_s5_drifts_location(self):
+        stream = build_scenario("S5")
+        locations = {s.domain.location for s in stream.segments}
+        assert locations == {Location.CITY, Location.HIGHWAY}
+
+    def test_s6_rainy(self):
+        for segment in build_scenario("S6").segments:
+            assert segment.domain.weather is Weather.RAINY
+
+    def test_extreme_scenarios_drift_weather(self):
+        for name in ("ES1", "ES2"):
+            weathers = {
+                s.domain.weather for s in build_scenario(name).segments
+            }
+            assert len(weathers) >= 2
+
+    def test_extreme_scenarios_differ(self):
+        assert (
+            build_scenario("ES1").segments != build_scenario("ES2").segments
+        )
+
+
+class TestScenarioTable:
+    def test_covers_all_scenarios(self):
+        rows = scenario_table()
+        assert [r["name"] for r in rows] == list(SCENARIO_NAMES)
+
+    def test_s1_row(self):
+        row = scenario_table()[0]
+        assert row["weather"] == "Clear"
+        assert row["drift_types"] == "Label Distribution"
+
+    def test_extreme_rows_list_all_four(self):
+        row = scenario_table()[-1]
+        for drift in ("Label Distribution", "Time of Day", "Location",
+                      "Weather"):
+            assert drift in row["drift_types"]

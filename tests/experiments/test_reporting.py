@@ -1,0 +1,46 @@
+"""Tests for the reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import format_table
+from repro.experiments.reporting import format_series
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        text = format_table([{"a": 1, "b": 0.5}, {"a": 20, "b": 0.25}])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "20" in lines[3]
+        assert "0.250" in lines[3]
+
+    def test_empty(self):
+        assert "no rows" in format_table([])
+
+    def test_heterogeneous_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([{"a": 1}, {"b": 2}])
+
+    def test_floatfmt(self):
+        text = format_table([{"x": 0.123456}], floatfmt=".1f")
+        assert "0.1" in text and "0.12" not in text
+
+
+class TestFormatSeries:
+    def test_renders_all_names(self):
+        times = np.arange(5.0)
+        series = {"sys_a": np.ones(5), "sys_b": np.zeros(5)}
+        text = format_series(times, series)
+        assert "sys_a" in text and "sys_b" in text
+        assert len(text.splitlines()) == 7  # header + rule + 5 rows
+
+    def test_downsamples_long_series(self):
+        times = np.arange(1000.0)
+        series = {"x": np.ones(1000)}
+        text = format_series(times, series, width=50)
+        assert len(text.splitlines()) < 60
+
+    def test_empty(self):
+        assert "empty" in format_series(np.array([]), {})

@@ -1,0 +1,47 @@
+"""Tests for the functional MX execution path.
+
+The critical property: at sensitivity 1.0 the fast path (quantization-error
+injection inside ``MLPClassifier.forward``) is **bit-identical** to running
+every layer through the real MX GEMMs -- the justification for using the
+fast path throughout the system simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learn import MLPClassifier, mx_forward, mx_predict
+from repro.mx import FORMATS, MX6
+
+
+def make_model(seed=0):
+    return MLPClassifier.create(
+        12, (10,), 5, np.random.default_rng(seed)
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    def test_fast_path_matches_mx_gemms(self, fmt):
+        model = make_model()
+        x = np.random.default_rng(1).normal(size=(32, 12))
+        reference = mx_forward(model, x, fmt)
+        fast = model.forward(x, fmt=fmt, sensitivity=1.0)
+        np.testing.assert_allclose(reference, fast, rtol=1e-12, atol=1e-12)
+
+    def test_predictions_match(self):
+        model = make_model(2)
+        x = np.random.default_rng(3).normal(size=(64, 12))
+        np.testing.assert_array_equal(
+            mx_predict(model, x, MX6),
+            model.predict(x, fmt=MX6, sensitivity=1.0),
+        )
+
+    def test_differs_from_fp32(self):
+        model = make_model(4)
+        x = np.random.default_rng(5).normal(size=(16, 12))
+        assert not np.allclose(mx_forward(model, x, MX6), model.forward(x))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            mx_forward(make_model(), np.zeros(12), MX6)

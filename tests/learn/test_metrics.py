@@ -1,0 +1,77 @@
+"""Tests for accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learn import accuracy, geometric_mean, windowed_accuracy
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(
+            2 / 3
+        )
+
+    def test_empty_scores_zero(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+
+class TestWindowedAccuracy:
+    def test_windows_partition_time(self):
+        times = np.array([0.0, 1.0, 16.0, 17.0])
+        correct = np.array([1, 1, 0, 1])
+        starts, series = windowed_accuracy(times, correct, window_s=15.0)
+        assert len(starts) == 2
+        assert series[0] == 1.0
+        assert series[1] == 0.5
+
+    def test_empty_windows_score_zero(self):
+        times = np.array([0.0, 31.0])
+        correct = np.array([1, 1])
+        _, series = windowed_accuracy(times, correct, 15.0, duration_s=45.0)
+        assert len(series) == 3
+        assert series[1] == 0.0
+
+    def test_duration_extends_series(self):
+        times = np.array([0.0])
+        correct = np.array([1])
+        starts, series = windowed_accuracy(times, correct, 10.0, duration_s=60.0)
+        assert len(starts) == 6
+
+    def test_empty_input(self):
+        starts, series = windowed_accuracy(np.array([]), np.array([]), 15.0)
+        assert len(starts) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            windowed_accuracy(np.array([0.0]), np.array([1]), 0.0)
+
+    def test_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            windowed_accuracy(np.array([0.0]), np.array([1, 2]), 15.0)
+
+    def test_frame_at_duration_boundary_clamped(self):
+        times = np.array([29.999, 30.0])
+        correct = np.array([1, 0])
+        _, series = windowed_accuracy(times, correct, 15.0, duration_s=30.0)
+        assert len(series) == 2
+        assert series[1] == 0.5
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_equals_arithmetic_for_constant(self):
+        assert geometric_mean(np.array([0.7, 0.7, 0.7])) == pytest.approx(0.7)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean(np.array([]))
+        with pytest.raises(ConfigurationError):
+            geometric_mean(np.array([0.5, 0.0]))

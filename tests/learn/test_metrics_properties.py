@@ -1,0 +1,68 @@
+"""Property-based tests for the accuracy metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn import geometric_mean, windowed_accuracy
+
+
+@given(
+    n=st.integers(1, 500),
+    window=st.floats(1.0, 60.0),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=100, deadline=None)
+def test_windowed_accuracy_reconstructs_frame_mean(n, window, seed):
+    """The count-weighted mean of window accuracies equals the frame mean."""
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0, 120, size=n))
+    correct = rng.random(n) < 0.7
+    duration = 120.0
+    starts, series = windowed_accuracy(times, correct, window, duration)
+    counts = np.zeros(len(starts))
+    idx = np.minimum((times // window).astype(int), len(starts) - 1)
+    for i in idx:
+        counts[i] += 1
+    weighted = float(np.sum(series * counts) / n)
+    np.testing.assert_allclose(weighted, float(np.mean(correct)), rtol=1e-9)
+
+
+@given(
+    n=st.integers(1, 500),
+    window=st.floats(1.0, 60.0),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=100, deadline=None)
+def test_windowed_accuracy_bounded(n, window, seed):
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0, 300, size=n))
+    correct = rng.random(n) < 0.5
+    _, series = windowed_accuracy(times, correct, window)
+    assert np.all(series >= 0.0) and np.all(series <= 1.0)
+
+
+@given(
+    values=st.lists(
+        st.floats(0.01, 1.0, allow_nan=False), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_geometric_mean_between_min_and_max(values):
+    arr = np.array(values)
+    g = geometric_mean(arr)
+    assert arr.min() - 1e-12 <= g <= arr.max() + 1e-12
+
+
+@given(
+    values=st.lists(
+        st.floats(0.01, 1.0, allow_nan=False), min_size=1, max_size=30
+    ),
+    scale=st.floats(0.1, 10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_geometric_mean_is_homogeneous(values, scale):
+    arr = np.array(values)
+    lhs = geometric_mean(arr * scale)
+    rhs = geometric_mean(arr) * scale
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9)

@@ -1,0 +1,90 @@
+"""Tests for the elementary NN ops, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learn import (
+    cross_entropy_grad,
+    cross_entropy_loss,
+    he_init,
+    relu,
+    relu_grad,
+    softmax,
+)
+
+
+class TestHeInit:
+    def test_shape_and_scale(self):
+        rng = np.random.default_rng(0)
+        w = he_init(1000, 50, rng)
+        assert w.shape == (1000, 50)
+        assert np.std(w) == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            he_init(0, 5, np.random.default_rng(0))
+
+
+class TestRelu:
+    def test_values(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 2.0])
+
+    def test_grad(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu_grad(x), [0.0, 0.0, 1.0])
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        probs = softmax(rng.normal(size=(8, 5)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(8))
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_no_overflow_on_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(probs).all()
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        assert cross_entropy_loss(logits, np.array([0])) < 1e-6
+
+    def test_uniform_loss(self):
+        logits = np.zeros((4, 10))
+        labels = np.arange(4)
+        assert cross_entropy_loss(logits, labels) == pytest.approx(
+            np.log(10)
+        )
+
+    def test_grad_matches_finite_differences(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 3])
+        grad = cross_entropy_grad(logits.copy(), labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                numeric = (
+                    cross_entropy_loss(bumped, labels)
+                    - cross_entropy_loss(logits, labels)
+                ) / eps
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-4)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cross_entropy_loss(np.zeros((0, 3)), np.zeros(0, dtype=int))
+        with pytest.raises(ConfigurationError):
+            cross_entropy_grad(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cross_entropy_loss(np.zeros((2, 3)), np.zeros(3, dtype=int))

@@ -1,0 +1,86 @@
+"""Tests for the SGD training loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.learn import MLPClassifier, TrainConfig, train_sgd
+from repro.mx import MX9
+
+
+def separable_data(rng, n=200):
+    x = np.concatenate(
+        [rng.normal(-3, 1, (n // 2, 5)), rng.normal(3, 1, (n // 2, 5))]
+    )
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return x, y
+
+
+class TestTrainConfig:
+    def test_paper_defaults(self):
+        config = TrainConfig()
+        assert config.learning_rate == 1e-3
+        assert config.batch_size == 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainConfig(learning_rate=0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            TrainConfig(epochs=0)
+
+
+class TestTrainSgd:
+    def test_losses_per_epoch(self):
+        rng = np.random.default_rng(0)
+        x, y = separable_data(rng)
+        mlp = MLPClassifier.create(5, (8,), 2, rng)
+        losses = train_sgd(mlp, x, y, TrainConfig(5e-2, 16, epochs=5), rng)
+        assert len(losses) == 5
+        assert losses[-1] < losses[0]
+
+    def test_learns_separable_problem(self):
+        rng = np.random.default_rng(1)
+        x, y = separable_data(rng)
+        mlp = MLPClassifier.create(5, (8,), 2, rng)
+        train_sgd(mlp, x, y, TrainConfig(5e-2, 16, epochs=10), rng)
+        assert mlp.accuracy(x, y) > 0.97
+
+    def test_mx9_training_still_learns(self):
+        # The paper trains at MX9; quantized training must converge too.
+        rng = np.random.default_rng(2)
+        x, y = separable_data(rng)
+        mlp = MLPClassifier.create(5, (8,), 2, rng)
+        train_sgd(
+            mlp, x, y, TrainConfig(5e-2, 16, epochs=10, fmt=MX9), rng
+        )
+        assert mlp.accuracy(x, y) > 0.95
+
+    def test_deterministic_given_seed(self):
+        rng_data = np.random.default_rng(3)
+        x, y = separable_data(rng_data)
+        results = []
+        for _ in range(2):
+            mlp = MLPClassifier.create(5, (8,), 2, np.random.default_rng(7))
+            train_sgd(
+                mlp, x, y, TrainConfig(5e-2, 16, 3), np.random.default_rng(9)
+            )
+            results.append(mlp.forward(x))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_empty_dataset_rejected(self):
+        mlp = MLPClassifier.create(5, (8,), 2, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            train_sgd(
+                mlp, np.zeros((0, 5)), np.zeros(0, dtype=int),
+                TrainConfig(), np.random.default_rng(0),
+            )
+
+    def test_misaligned_rejected(self):
+        mlp = MLPClassifier.create(5, (8,), 2, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            train_sgd(
+                mlp, np.zeros((4, 5)), np.zeros(3, dtype=int),
+                TrainConfig(), np.random.default_rng(0),
+            )

@@ -1,0 +1,50 @@
+"""Table III reproduction: parameter counts and GFLOPs of all six models.
+
+These are the paper's headline model statistics; the specs must land within
+0.5% of every published number.
+"""
+
+import pytest
+
+from repro.models import get_model
+
+#: (model, paper params in millions, paper GFLOPs) -- Table III verbatim.
+TABLE_III = [
+    ("resnet18", 11.7, 1.82),
+    ("resnet34", 21.8, 3.67),
+    ("vit_b_32", 88.2, 4.37),
+    ("wide_resnet50_2", 68.9, 11.43),
+    ("vit_b_16", 86.6, 16.87),
+    ("wide_resnet101_2", 126.9, 22.80),
+]
+
+
+@pytest.mark.parametrize("name,paper_params,paper_gflops", TABLE_III)
+def test_params_match_table3(name, paper_params, paper_gflops):
+    model = get_model(name)
+    assert model.params / 1e6 == pytest.approx(paper_params, rel=0.005)
+
+
+@pytest.mark.parametrize("name,paper_params,paper_gflops", TABLE_III)
+def test_gflops_match_table3(name, paper_params, paper_gflops):
+    model = get_model(name)
+    assert model.gflops == pytest.approx(paper_gflops, rel=0.005)
+
+
+def test_exact_reference_params():
+    # Torchvision ground-truth parameter counts (the numbers Table III rounds).
+    assert get_model("resnet18").params == 11_689_512
+    assert get_model("resnet34").params == 21_797_672
+    assert get_model("wide_resnet50_2").params == 68_883_240
+    assert get_model("wide_resnet101_2").params == 126_886_696
+    assert get_model("vit_b_16").params == 86_567_656
+    assert get_model("vit_b_32").params == 88_224_232
+
+
+def test_teachers_cost_more_than_students():
+    for student, teacher in [
+        ("resnet18", "wide_resnet50_2"),
+        ("vit_b_32", "vit_b_16"),
+        ("resnet34", "wide_resnet101_2"),
+    ]:
+        assert get_model(teacher).gflops > get_model(student).gflops

@@ -1,0 +1,53 @@
+"""Tests for the model registry and pairs."""
+
+import pytest
+
+from repro.errors import ModelSpecError
+from repro.models import MODEL_PAIRS, get_model, get_pair
+from repro.models.zoo import PROXY_CONFIGS, get_proxy_config
+
+
+class TestRegistry:
+    def test_get_model_caches(self):
+        assert get_model("resnet18") is get_model("resnet18")
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelSpecError, match="unknown model"):
+            get_model("resnet999")
+
+    def test_all_pairs_resolve(self):
+        for pair in MODEL_PAIRS.values():
+            assert pair.student_graph().name == pair.student
+            assert pair.teacher_graph().name == pair.teacher
+
+    def test_paper_pairs_present(self):
+        assert set(MODEL_PAIRS) == {
+            "resnet18_wrn50", "vit_b32_b16", "resnet34_wrn101"
+        }
+
+    def test_unknown_pair(self):
+        with pytest.raises(ModelSpecError, match="unknown model pair"):
+            get_pair("nope")
+
+
+class TestProxyConfigs:
+    def test_every_model_has_proxy(self):
+        for pair in MODEL_PAIRS.values():
+            assert pair.student in PROXY_CONFIGS
+            assert pair.teacher in PROXY_CONFIGS
+
+    def test_teacher_proxy_has_more_capacity(self):
+        for pair in MODEL_PAIRS.values():
+            student = get_proxy_config(pair.student)
+            teacher = get_proxy_config(pair.teacher)
+            assert sum(teacher.hidden_sizes) > sum(student.hidden_sizes)
+
+    def test_vits_more_precision_sensitive(self):
+        for vit in ("vit_b_32", "vit_b_16"):
+            assert get_proxy_config(vit).precision_sensitivity > 1.0
+        for cnn in ("resnet18", "wide_resnet50_2"):
+            assert get_proxy_config(cnn).precision_sensitivity == 1.0
+
+    def test_unknown_proxy(self):
+        with pytest.raises(ModelSpecError):
+            get_proxy_config("nope")

@@ -1,0 +1,109 @@
+"""Unit and property tests for MX dot products / GEMMs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import QuantizationError
+from repro.mx import MX4, MX6, MX9, mx_dot, mx_matmul, quantize
+
+
+class TestMxDot:
+    def test_matches_quantized_reference(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=32), rng.normal(size=32)
+        expected = float(np.dot(quantize(a, MX6), quantize(b, MX9)))
+        assert mx_dot(a, b, MX6, MX9) == expected
+
+    def test_default_second_format(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=16), rng.normal(size=16)
+        assert mx_dot(a, b, MX9) == mx_dot(a, b, MX9, MX9)
+
+    def test_exact_for_representable_inputs(self):
+        a = np.array([1.0, 2.0, 0.5, 4.0] * 4)
+        b = np.array([2.0] * 16)
+        assert mx_dot(a, b, MX9) == float(np.dot(a, b))
+
+    def test_length_mismatch(self):
+        with pytest.raises(QuantizationError):
+            mx_dot(np.zeros(4), np.zeros(5), MX6)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(QuantizationError):
+            mx_dot(np.zeros((4, 4)), np.zeros((4, 4)), MX6)
+
+
+class TestMxMatmul:
+    def test_matches_quantized_reference(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(8, 32))
+        b = rng.normal(size=(32, 5))
+        expected = quantize(a, MX6, axis=1) @ quantize(b, MX9, axis=0)
+        np.testing.assert_array_equal(mx_matmul(a, b, MX6, MX9), expected)
+
+    def test_shape(self):
+        a = np.ones((3, 20))
+        b = np.ones((20, 7))
+        assert mx_matmul(a, b, MX4).shape == (3, 7)
+
+    def test_inner_mismatch(self):
+        with pytest.raises(QuantizationError):
+            mx_matmul(np.ones((3, 4)), np.ones((5, 2)), MX6)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(QuantizationError):
+            mx_matmul(np.ones(4), np.ones((4, 2)), MX6)
+
+
+vec16 = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=64),
+    elements=st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@given(vec16)
+@settings(max_examples=100, deadline=None)
+def test_integer_datapath_equivalence(a):
+    """Integer mantissa x power-of-two scale arithmetic == dequantized dot.
+
+    This is the claim justifying the fake-quantize implementation of the DPE
+    functional path: both sides are exact in float64.
+    """
+    from repro.mx import dequantize, quantize_blocks
+
+    b = a[::-1].copy()
+    enc_a = quantize_blocks(a, MX6)
+    enc_b = quantize_blocks(b, MX6)
+    # Integer-domain computation with explicit scales.
+    fmt = MX6
+    sa = np.ldexp(
+        1.0,
+        (
+            enc_a.shared_exponents[..., None]
+            - enc_a.microexponents.astype(int)
+            - (fmt.mantissa_bits - 1)
+        ),
+    )
+    sb = np.ldexp(
+        1.0,
+        (
+            enc_b.shared_exponents[..., None]
+            - enc_b.microexponents.astype(int)
+            - (fmt.mantissa_bits - 1)
+        ),
+    )
+    sub = fmt.subblock_size
+    ma = enc_a.mantissas.reshape(-1, fmt.subblocks_per_block, sub).astype(float)
+    mb = enc_b.mantissas.reshape(-1, fmt.subblocks_per_block, sub).astype(float)
+    integer_dot = float(
+        np.sum(ma * mb * (sa.reshape(-1, fmt.subblocks_per_block, 1))
+               * (sb.reshape(-1, fmt.subblocks_per_block, 1)))
+    )
+    reference = float(np.dot(dequantize(enc_a), dequantize(enc_b)))
+    assert integer_dot == pytest.approx(reference, rel=1e-12, abs=1e-12)

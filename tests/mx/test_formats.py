@@ -1,0 +1,98 @@
+"""Unit tests for the MX format definitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mx import FORMATS, MX4, MX6, MX9, MXFormat, format_by_name
+
+
+class TestFormatNaming:
+    def test_bits_per_value_match_format_names(self):
+        # The formats earn their names from amortized storage cost.
+        assert MX4.bits_per_value == 4.0
+        assert MX6.bits_per_value == 6.0
+        assert MX9.bits_per_value == 9.0
+
+    def test_mantissa_bits_follow_the_paper(self):
+        # Figure 6: mantissas truncated to 2 (MX4), 4 (MX6), or 7 (MX9) bits.
+        assert MX4.mantissa_bits == 2
+        assert MX6.mantissa_bits == 4
+        assert MX9.mantissa_bits == 7
+
+    def test_formats_ordered_by_increasing_precision(self):
+        bits = [fmt.mantissa_bits for fmt in FORMATS]
+        assert bits == sorted(bits)
+
+    def test_str_is_name(self):
+        assert str(MX6) == "MX6"
+
+
+class TestBlockGeometry:
+    def test_paper_default_block_and_subblock_sizes(self):
+        for fmt in FORMATS:
+            assert fmt.block_size == 16
+            assert fmt.subblock_size == 2
+            assert fmt.subblocks_per_block == 8
+
+    def test_block_bits_mx9(self):
+        # 16 * (1 + 7) + 8 shared + 8 micro = 144 bits = 18 bytes.
+        assert MX9.block_bits == 144
+        assert MX9.block_bytes == 18
+
+    def test_block_bits_mx4(self):
+        # 16 * (1 + 2) + 8 + 8 = 64 bits = 8 bytes.
+        assert MX4.block_bits == 64
+        assert MX4.block_bytes == 8
+
+    def test_block_bits_mx6(self):
+        # 16 * (1 + 4) + 8 + 8 = 96 bits = 12 bytes.
+        assert MX6.block_bits == 96
+        assert MX6.block_bytes == 12
+
+
+class TestBytesFor:
+    def test_exact_blocks(self):
+        assert MX9.bytes_for(32) == 2 * MX9.block_bytes
+
+    def test_partial_block_rounds_up(self):
+        assert MX9.bytes_for(17) == 2 * MX9.block_bytes
+
+    def test_zero_values(self):
+        assert MX6.bytes_for(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MX6.bytes_for(-1)
+
+
+class TestMaxMantissa:
+    def test_sign_magnitude_limits(self):
+        assert MX4.max_mantissa == 3
+        assert MX6.max_mantissa == 15
+        assert MX9.max_mantissa == 127
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert format_by_name("MX9") is MX9
+
+    def test_lookup_case_insensitive(self):
+        assert format_by_name("mx4") is MX4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown MX format"):
+            format_by_name("MX7")
+
+
+class TestValidation:
+    def test_invalid_mantissa_bits(self):
+        with pytest.raises(ConfigurationError):
+            MXFormat("bad", mantissa_bits=0)
+
+    def test_subblock_must_divide_block(self):
+        with pytest.raises(ConfigurationError):
+            MXFormat("bad", mantissa_bits=4, block_size=16, subblock_size=3)
+
+    def test_custom_block_size(self):
+        fmt = MXFormat("custom", mantissa_bits=4, block_size=32, subblock_size=4)
+        assert fmt.subblocks_per_block == 8

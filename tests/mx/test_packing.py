@@ -1,0 +1,69 @@
+"""Tests for the packed MX bitstream layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import QuantizationError
+from repro.mx import FORMATS, MX4, MX6, MX9, dequantize, pack, quantize_blocks, unpack
+
+
+class TestPackUnpack:
+    def test_round_trip_1d(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=40)
+        enc = quantize_blocks(x, MX6)
+        dec = unpack(pack(enc), MX6, enc.shape, enc.axis)
+        np.testing.assert_array_equal(dec.mantissas, enc.mantissas)
+        np.testing.assert_array_equal(
+            dec.shared_exponents, enc.shared_exponents
+        )
+        np.testing.assert_array_equal(
+            dec.microexponents, enc.microexponents
+        )
+
+    def test_round_trip_values(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 33))
+        enc = quantize_blocks(x, MX9, axis=1)
+        dec = unpack(pack(enc), MX9, enc.shape, enc.axis)
+        np.testing.assert_array_equal(dequantize(dec), dequantize(enc))
+
+    def test_packed_size_matches_accounting(self):
+        for fmt in FORMATS:
+            x = np.random.default_rng(2).normal(size=50)
+            enc = quantize_blocks(x, fmt)
+            assert len(pack(enc)) == enc.nbytes == fmt.bytes_for(50)
+
+    def test_wrong_payload_size_rejected(self):
+        x = np.zeros(16)
+        enc = quantize_blocks(x, MX4)
+        with pytest.raises(QuantizationError):
+            unpack(pack(enc)[:-1], MX4, enc.shape, enc.axis)
+
+    def test_negative_mantissas_survive(self):
+        x = np.array([-1.0, 1.0] * 8)
+        enc = quantize_blocks(x, MX9)
+        dec = unpack(pack(enc), MX9, enc.shape, enc.axis)
+        np.testing.assert_array_equal(dequantize(dec), x)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 80),
+        elements=st.floats(
+            min_value=-1e20, max_value=1e20,
+            allow_nan=False, allow_infinity=False,
+        ),
+    ),
+    st.sampled_from(FORMATS),
+)
+@settings(max_examples=60, deadline=None)
+def test_pack_unpack_identity(x, fmt):
+    enc = quantize_blocks(x, fmt)
+    dec = unpack(pack(enc), fmt, enc.shape, enc.axis)
+    np.testing.assert_array_equal(dequantize(dec), dequantize(enc))
+    assert len(pack(enc)) == fmt.bytes_for(x.size)

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for MX quantization invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mx import FORMATS, MX4, MX9, dequantize, quantize, quantize_blocks
+
+finite_floats = st.floats(
+    min_value=-1e30,
+    max_value=1e30,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=100),
+    elements=finite_floats,
+)
+
+formats = st.sampled_from(FORMATS)
+
+
+@given(vectors, formats)
+@settings(max_examples=200, deadline=None)
+def test_round_trip_preserves_shape(x, fmt):
+    assert quantize(x, fmt).shape == x.shape
+
+
+@given(vectors, formats)
+@settings(max_examples=200, deadline=None)
+def test_quantization_is_idempotent(x, fmt):
+    once = quantize(x, fmt)
+    np.testing.assert_array_equal(quantize(once, fmt), once)
+
+
+@given(vectors, formats)
+@settings(max_examples=200, deadline=None)
+def test_error_bounded_by_one_ulp_of_block_scale(x, fmt):
+    # One ULP covers the sign-magnitude saturation sliver at the top of the
+    # shared binade; non-saturating values meet half a ULP (unit test).
+    enc = quantize_blocks(x, fmt)
+    dec = dequantize(enc)
+    scales = np.ldexp(
+        1.0, enc.shared_exponents.astype(int) - (fmt.mantissa_bits - 1)
+    )
+    bound = np.repeat(scales.ravel(), fmt.block_size)[: x.size]
+    assert np.all(np.abs(x - dec) <= bound * (1 + 1e-12) + 1e-300)
+
+
+@given(vectors, formats)
+@settings(max_examples=200, deadline=None)
+def test_sign_antisymmetry(x, fmt):
+    np.testing.assert_array_equal(quantize(-x, fmt), -quantize(x, fmt))
+
+
+@given(vectors)
+@settings(max_examples=200, deadline=None)
+def test_precision_ordering(x):
+    # Higher-precision formats never produce a larger max error.
+    errors = [np.abs(x - quantize(x, fmt)).max() for fmt in FORMATS]
+    assert errors == sorted(errors, reverse=True) or np.allclose(
+        errors, sorted(errors, reverse=True)
+    )
+
+
+@given(vectors, formats, st.floats(min_value=0.25, max_value=4.0))
+@settings(max_examples=200, deadline=None)
+def test_power_of_two_scaling_commutes(x, fmt, scale_pow):
+    # Scaling inputs by a power of two scales the output identically,
+    # because block exponents shift uniformly.
+    factor = 2.0 ** np.floor(np.log2(scale_pow))
+    lhs = quantize(x * factor, fmt)
+    rhs = quantize(x, fmt) * factor
+    np.testing.assert_allclose(lhs, rhs, rtol=0, atol=0)
+
+
+@given(vectors, formats)
+@settings(max_examples=200, deadline=None)
+def test_zeros_stay_zero(x, fmt):
+    mask = x == 0.0
+    dec = quantize(x, fmt)
+    assert np.all(dec[mask] == 0.0)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=8),
+            st.integers(min_value=1, max_value=40),
+        ),
+        elements=finite_floats,
+    ),
+    formats,
+)
+@settings(max_examples=100, deadline=None)
+def test_rows_quantize_independently(x, fmt):
+    # Quantizing a matrix along its last axis equals quantizing each row.
+    full = quantize(x, fmt, axis=1)
+    for i in range(x.shape[0]):
+        np.testing.assert_array_equal(full[i], quantize(x[i], fmt))
+
+
+@given(vectors, formats)
+@settings(max_examples=100, deadline=None)
+def test_packed_bytes_match_format_accounting(x, fmt):
+    enc = quantize_blocks(x, fmt)
+    assert enc.nbytes == fmt.bytes_for(x.size)
+
+
+@given(vectors)
+@settings(max_examples=100, deadline=None)
+def test_mx4_mantissas_fit_two_bits(x):
+    enc = quantize_blocks(x, MX4)
+    assert np.all(np.abs(enc.mantissas) <= 3)
+
+
+@given(vectors)
+@settings(max_examples=100, deadline=None)
+def test_mx9_representable_round_trip_is_exact(x):
+    # Anything MX9 emits must round-trip exactly through MX9 again.
+    once = quantize(x, MX9)
+    np.testing.assert_array_equal(quantize(once, MX9), once)

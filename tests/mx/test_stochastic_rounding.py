@@ -1,0 +1,68 @@
+"""Tests for stochastic rounding (FAST-style low-precision training)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.mx import MX4, MX9, dequantize, quantize_blocks
+
+
+class TestStochasticRounding:
+    def test_requires_rng(self):
+        with pytest.raises(QuantizationError, match="rng"):
+            quantize_blocks(np.ones(16), MX9, rounding="stochastic")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(QuantizationError, match="rounding"):
+            quantize_blocks(np.ones(16), MX9, rounding="floor")
+
+    def test_representable_values_unchanged(self):
+        x = np.array([1.0, 2.0, 0.5, 4.0] * 4)
+        enc = quantize_blocks(
+            x, MX9, rounding="stochastic", rng=np.random.default_rng(0)
+        )
+        np.testing.assert_array_equal(dequantize(enc), x)
+
+    def test_unbiased_in_expectation(self):
+        # A value a quarter of the way between two MX4 codes must round up
+        # about 25% of the time.
+        x = np.full(16, 1.0 + 0.25 * 0.5)  # codes at 1.0 and 1.5 (block max 1.125 -> E=0)
+        rng = np.random.default_rng(1)
+        ups = 0
+        trials = 400
+        for _ in range(trials):
+            dec = dequantize(
+                quantize_blocks(x, MX4, rounding="stochastic", rng=rng)
+            )
+            ups += int(np.count_nonzero(dec > x[0] - 1e-12))
+        # Expected p = fractional distance to the lower code.
+        enc = quantize_blocks(x, MX4)
+        scale = 2.0 ** (
+            int(enc.shared_exponents.ravel()[0])
+            - int(enc.microexponents.ravel()[0])
+            - (MX4.mantissa_bits - 1)
+        )
+        frac = (x[0] / scale) % 1.0
+        observed = ups / (trials * 16)
+        assert observed == pytest.approx(frac, abs=0.08)
+
+    def test_error_bounded_by_one_step(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=160)
+        enc = quantize_blocks(x, MX9, rounding="stochastic", rng=rng)
+        dec = dequantize(enc)
+        scales = np.ldexp(
+            1.0, enc.shared_exponents.astype(int) - (MX9.mantissa_bits - 1)
+        )
+        bound = np.repeat(scales.ravel(), MX9.block_size)[: x.size]
+        assert np.all(np.abs(x - dec) <= bound + 1e-300)
+
+    def test_deterministic_per_seed(self):
+        x = np.random.default_rng(3).normal(size=64)
+        a = dequantize(quantize_blocks(
+            x, MX4, rounding="stochastic", rng=np.random.default_rng(7)
+        ))
+        b = dequantize(quantize_blocks(
+            x, MX4, rounding="stochastic", rng=np.random.default_rng(7)
+        ))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,42 @@
+"""Tests for the energy accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform import EnergyAccount, energy_ratio
+
+
+class TestEnergyAccount:
+    def test_record_accumulates(self):
+        acct = EnergyAccount("x")
+        acct.record(10.0, 5.0)
+        acct.record(10.0, 15.0)
+        assert acct.wall_time_s == 20.0
+        assert acct.energy_j == 200.0
+        assert acct.average_power_w == 10.0
+
+    def test_empty_account(self):
+        assert EnergyAccount("x").average_power_w == 0.0
+
+    def test_invalid_segments(self):
+        acct = EnergyAccount("x")
+        with pytest.raises(ConfigurationError):
+            acct.record(-1.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            acct.record(1.0, -5.0)
+
+
+class TestEnergyRatio:
+    def test_254x_headline(self):
+        # A 20-minute run: Orin-high at 60 W vs DaCapo at 0.236 W.
+        gpu = EnergyAccount("OrinHigh")
+        gpu.record(1200.0, 60.0)
+        dacapo = EnergyAccount("DaCapo")
+        dacapo.record(1200.0, 0.236)
+        assert energy_ratio(gpu, dacapo) == pytest.approx(254, rel=0.01)
+
+    def test_zero_candidate_rejected(self):
+        gpu = EnergyAccount("g")
+        gpu.record(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            energy_ratio(gpu, EnergyAccount("d"))

@@ -1,0 +1,109 @@
+"""Tests for the GPU roofline platforms."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import get_model
+from repro.platform import (
+    GpuPlatform,
+    jetson_orin_high,
+    jetson_orin_low,
+    rtx_3090,
+)
+
+FRAME_RATE = 30.0
+STUDENTS = ["resnet18", "resnet34", "vit_b_32"]
+TEACHERS = ["wide_resnet50_2", "wide_resnet101_2", "vit_b_16"]
+
+
+class TestFigure2Calibration:
+    """The platforms must reproduce Figure 2's frame-drop structure."""
+
+    def test_rtx3090_never_drops(self):
+        gpu = rtx_3090()
+        for name in STUDENTS + TEACHERS:
+            assert gpu.inference_rate(get_model(name)) >= FRAME_RATE
+
+    def test_orin_students_hold_frame_rate(self):
+        for gpu in (jetson_orin_high(), jetson_orin_low()):
+            for name in STUDENTS:
+                assert gpu.inference_rate(get_model(name)) >= FRAME_RATE
+
+    def test_orin_teachers_drop_frames(self):
+        for gpu in (jetson_orin_high(), jetson_orin_low()):
+            for name in TEACHERS:
+                assert gpu.inference_rate(get_model(name)) < FRAME_RATE
+
+    def test_low_power_mode_slower(self):
+        model = get_model("resnet18")
+        assert jetson_orin_low().inference_rate(model) < jetson_orin_high(
+        ).inference_rate(model)
+
+
+class TestPowerRatios:
+    def test_orin_high_is_254x_dacapo(self):
+        # Section VII-A: OrinHigh consumes 254x more power than DaCapo.
+        from repro.accelerator import DACAPO_POWER_W
+        assert jetson_orin_high().power_w / DACAPO_POWER_W == pytest.approx(
+            254, rel=0.01
+        )
+
+    def test_orin_low_is_127x_dacapo(self):
+        from repro.accelerator import DACAPO_POWER_W
+        assert jetson_orin_low().power_w / DACAPO_POWER_W == pytest.approx(
+            127, rel=0.01
+        )
+
+
+class TestRates:
+    def test_share_scales_linearly(self):
+        gpu = jetson_orin_high()
+        model = get_model("resnet18")
+        full = gpu.inference_rate(model, share=1.0)
+        half = gpu.inference_rate(model, share=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_training_slower_than_inference(self):
+        gpu = jetson_orin_high()
+        model = get_model("resnet18")
+        assert gpu.training_rate(model) < gpu.inference_rate(model)
+
+    def test_labeling_derated_by_inference_interference(self):
+        # Labeling shares the device with the latency-critical inference
+        # stream, so its sustained rate sits well below plain inference.
+        gpu = jetson_orin_high()
+        teacher = get_model("wide_resnet50_2")
+        assert gpu.labeling_rate(teacher) < gpu.inference_rate(teacher)
+        ratio = gpu.labeling_rate(teacher) / gpu.inference_rate(teacher)
+        assert ratio == pytest.approx(
+            gpu.labeling_efficiency / gpu.inference_efficiency
+        )
+
+    def test_invalid_share(self):
+        gpu = jetson_orin_high()
+        with pytest.raises(ConfigurationError):
+            gpu.inference_rate(get_model("resnet18"), share=1.5)
+
+
+class TestPower:
+    def test_average_power_interpolates(self):
+        gpu = jetson_orin_high()
+        idle = gpu.average_power_w(0.0)
+        full = gpu.average_power_w(1.0)
+        assert idle < gpu.average_power_w(0.5) < full
+        assert full == gpu.power_w
+
+    def test_invalid_utilization(self):
+        with pytest.raises(ConfigurationError):
+            jetson_orin_high().average_power_w(2.0)
+
+
+class TestValidation:
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GpuPlatform("bad", peak_flops=0, power_w=10)
+        with pytest.raises(ConfigurationError):
+            GpuPlatform("bad", peak_flops=1e12, power_w=10,
+                        inference_efficiency=0)
+        with pytest.raises(ConfigurationError):
+            GpuPlatform("bad", peak_flops=1e12, power_w=10, idle_fraction=2)

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "DaCapo-Spatiotemporal" in out
+        assert "S1" in out
+        assert "resnet18_wrn50" in out
+
+
+class TestExperiment:
+    def test_runs_table_experiment(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet18" in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestRun:
+    def test_runs_system(self, capsys):
+        code = main([
+            "run", "DaCapo-Spatiotemporal", "resnet18_wrn50", "S1",
+            "--duration", "120",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average_accuracy" in out
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["run", "H100", "resnet18_wrn50", "S1"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
