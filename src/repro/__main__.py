@@ -11,6 +11,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.core import SYSTEM_BUILDERS, build_system, run_on_scenario
@@ -32,6 +33,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.duration is not None:
         kwargs["duration_s"] = args.duration
+    if args.jobs is not None:
+        runner = EXPERIMENTS[args.id]
+        if "jobs" not in inspect.signature(runner).parameters:
+            print(
+                f"experiment {args.id!r} does not support --jobs; "
+                "running serially",
+                file=sys.stderr,
+            )
+        else:
+            kwargs["jobs"] = args.jobs
     result = run_experiment(args.id, **kwargs)
     print(result.report)
     return 0
@@ -70,6 +81,10 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--duration", type=float, default=None,
                        help="stream seconds for end-to-end experiments")
+    p_exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for grid experiments; 0 uses "
+                            "all cores (results are identical at any "
+                            "worker count)")
 
     p_run = sub.add_parser("run", help="run one system on one scenario")
     p_run.add_argument("system", choices=list(SYSTEM_BUILDERS))

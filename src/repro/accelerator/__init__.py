@@ -30,10 +30,11 @@ from repro.accelerator.scaling import (
     scaled_array,
     scaled_power_model,
 )
-from repro.accelerator.simulator import AcceleratorSimulator
+from repro.accelerator.simulator import AcceleratorSimulator, clear_timing_caches
 
 __all__ = [
     "AcceleratorSimulator",
+    "clear_timing_caches",
     "DACAPO_AREA_MM2",
     "DACAPO_POWER_W",
     "DPE_LANES",

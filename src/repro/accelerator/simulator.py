@@ -30,10 +30,24 @@ from repro.models.graph import ModelGraph
 from repro.models.layers import Gemm
 from repro.mx import MXFormat
 
-__all__ = ["AcceleratorSimulator", "Timing"]
+__all__ = ["AcceleratorSimulator", "Timing", "clear_timing_caches"]
 
 #: Non-overlapped vector-unit work as a fraction of array cycles.
 VECTOR_OVERHEAD = 0.05
+
+#: Timing memos.  Every key component (simulator, GEMM shape, MX format,
+#: sub-accelerator, model graph) is a frozen dataclass, so keys capture the
+#: full simulator configuration -- two simulators with different memory/PCU/
+#: dataflow settings never share entries.  Timings are pure functions of
+#: their key, so entries stay valid for the life of the process.
+_GEMM_TIMING_CACHE: dict = {}
+_MODEL_TIMING_CACHE: dict = {}
+
+
+def clear_timing_caches() -> None:
+    """Drop all memoized timings (for tests and benchmarks)."""
+    _GEMM_TIMING_CACHE.clear()
+    _MODEL_TIMING_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -90,12 +104,17 @@ class AcceleratorSimulator:
         sub: SubAccelerator,
         for_training: bool = False,
     ) -> Timing:
-        """Roofline timing of a single GEMM."""
-        compute = gemm_compute_cycles(gemm, fmt, sub, self.dataflow)
-        mem = self.memory.gemm_memory_cycles(gemm, fmt, sub.frequency_hz)
-        convert = self.pcu.cycles(gemm.m * gemm.n, fmt, for_training)
-        bottleneck = max(compute, mem, convert)
-        return Timing(bottleneck, compute, mem)
+        """Roofline timing of a single GEMM (memoized)."""
+        key = (self, gemm, fmt, sub, for_training)
+        timing = _GEMM_TIMING_CACHE.get(key)
+        if timing is None:
+            compute = gemm_compute_cycles(gemm, fmt, sub, self.dataflow)
+            mem = self.memory.gemm_memory_cycles(gemm, fmt, sub.frequency_hz)
+            convert = self.pcu.cycles(gemm.m * gemm.n, fmt, for_training)
+            bottleneck = max(compute, mem, convert)
+            timing = Timing(bottleneck, compute, mem)
+            _GEMM_TIMING_CACHE[key] = timing
+        return timing
 
     def forward_timing(
         self,
@@ -104,16 +123,23 @@ class AcceleratorSimulator:
         sub: SubAccelerator,
         batch: int = 1,
     ) -> Timing:
-        """Timing of one forward pass of ``model`` for a batch."""
+        """Timing of one forward pass of ``model`` for a batch (memoized)."""
         if sub.is_empty:
             raise PartitionError(f"{sub.name} has no rows assigned")
-        total = _ZERO
-        for gemm in model.gemms(batch):
-            total = total + self.gemm_timing(gemm, fmt, sub)
-        overhead = total.cycles * self.vector_overhead
-        return Timing(
-            total.cycles + overhead, total.compute_cycles, total.memory_cycles
-        )
+        key = (self, model, fmt, sub, batch, False)
+        timing = _MODEL_TIMING_CACHE.get(key)
+        if timing is None:
+            total = _ZERO
+            for gemm in model.gemms(batch):
+                total = total + self.gemm_timing(gemm, fmt, sub)
+            overhead = total.cycles * self.vector_overhead
+            timing = Timing(
+                total.cycles + overhead,
+                total.compute_cycles,
+                total.memory_cycles,
+            )
+            _MODEL_TIMING_CACHE[key] = timing
+        return timing
 
     def training_timing(
         self,
@@ -122,20 +148,29 @@ class AcceleratorSimulator:
         sub: SubAccelerator,
         batch: int,
     ) -> Timing:
-        """Timing of one training step (forward + both backward GEMMs)."""
+        """Timing of one training step, forward + both backward GEMMs (memoized)."""
         if sub.is_empty:
             raise PartitionError(f"{sub.name} has no rows assigned")
-        total = _ZERO
-        for gemm in model.gemms(batch):
-            total = total + self.gemm_timing(gemm, fmt, sub, for_training=True)
-            for grad in backward_gemms(gemm):
+        key = (self, model, fmt, sub, batch, True)
+        timing = _MODEL_TIMING_CACHE.get(key)
+        if timing is None:
+            total = _ZERO
+            for gemm in model.gemms(batch):
                 total = total + self.gemm_timing(
-                    grad, fmt, sub, for_training=True
+                    gemm, fmt, sub, for_training=True
                 )
-        overhead = total.cycles * self.vector_overhead
-        return Timing(
-            total.cycles + overhead, total.compute_cycles, total.memory_cycles
-        )
+                for grad in backward_gemms(gemm):
+                    total = total + self.gemm_timing(
+                        grad, fmt, sub, for_training=True
+                    )
+            overhead = total.cycles * self.vector_overhead
+            timing = Timing(
+                total.cycles + overhead,
+                total.compute_cycles,
+                total.memory_cycles,
+            )
+            _MODEL_TIMING_CACHE[key] = timing
+        return timing
 
     def forward_latency_s(
         self,

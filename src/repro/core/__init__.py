@@ -34,6 +34,13 @@ from repro.core.baselines import (
     NoRetrainSystem,
 )
 from repro.core.runner import SYSTEM_BUILDERS, build_system, run_on_scenario
+from repro.core.parallel import (
+    Fig2Cell,
+    SystemCell,
+    default_jobs,
+    run_cells,
+    warm_model_caches,
+)
 from repro.core.tuning import (
     TuningResult,
     default_search_space,
@@ -45,6 +52,7 @@ __all__ = [
     "DaCapoConfig",
     "DaCapoSystem",
     "EomuSystem",
+    "Fig2Cell",
     "FixedWindowSystem",
     "KernelRates",
     "NoRetrainSystem",
@@ -54,12 +62,16 @@ __all__ = [
     "RunResult",
     "SYSTEM_BUILDERS",
     "SampleBuffer",
+    "SystemCell",
     "TuningResult",
     "allocate_partition",
     "build_system",
+    "default_jobs",
     "default_search_space",
     "hyperparameter_table",
+    "run_cells",
     "run_on_scenario",
     "tune_hyperparameters",
     "validate_run",
+    "warm_model_caches",
 ]

@@ -8,7 +8,7 @@ arithmetic (step 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
 from repro.models.graph import ModelGraph
@@ -57,21 +57,32 @@ class PerformanceEstimator:
 
     platform: Platform
     pair: ModelPair
+    #: Per-share memo of :meth:`rates`; rates are pure in (platform, pair,
+    #: share), so entries never go stale.
+    _rates_cache: dict = field(
+        init=False, default_factory=dict, repr=False, compare=False
+    )
 
     def rates(self, share: float = 1.0) -> KernelRates:
         """Kernel rates given the share granted to training-side kernels.
 
         Inference always reports its dedicated-resource rate (B-SA on
         DaCapo, the priority share on GPUs is applied by the caller).
+        Results are cached per share, so repeated queries (the temporal
+        allocator probes many shares) walk each model graph once.
         """
-        student: ModelGraph = self.pair.student_graph()
-        teacher: ModelGraph = self.pair.teacher_graph()
-        return KernelRates(
-            inference_fps=self.platform.inference_rate(student),
-            labeling_sps=self.platform.labeling_rate(teacher, share),
-            training_sps=self.platform.training_rate(student, share),
-            validation_sps=self.platform.labeling_rate(student, share),
-        )
+        cached = self._rates_cache.get(share)
+        if cached is None:
+            student: ModelGraph = self.pair.student_graph()
+            teacher: ModelGraph = self.pair.teacher_graph()
+            cached = KernelRates(
+                inference_fps=self.platform.inference_rate(student),
+                labeling_sps=self.platform.labeling_rate(teacher, share),
+                training_sps=self.platform.training_rate(student, share),
+                validation_sps=self.platform.labeling_rate(student, share),
+            )
+            self._rates_cache[share] = cached
+        return cached
 
     def precision_report(self) -> dict[str, KernelRates]:
         """Kernel rates for every supported MX precision (workflow step 2).
@@ -84,7 +95,6 @@ class PerformanceEstimator:
         if not hasattr(base, "inference_fmt"):
             report["native"] = self.rates()
             return report
-        from dataclasses import replace
 
         for fmt in FORMATS:
             configured = replace(

@@ -99,6 +99,12 @@ class CLSystemBase:
                 1.0, config.frame_rate / self.inference_fps
             )
             self.training_share = max(0.0, 1.0 - inference_share)
+        # Kernel-rate memos: platform, pair, and training share are fixed
+        # after construction, so each rate is computed once on first use
+        # instead of re-walking the model graph every phase.
+        self._labeling_sps: float | None = None
+        self._training_sps: float | None = None
+        self._validation_sps: float | None = None
 
     def _feature_dim(self) -> int:
         return self.student.mlp.weights[0].shape[0]
@@ -107,23 +113,31 @@ class CLSystemBase:
 
     def labeling_sps(self) -> float:
         """Teacher labeling throughput under the training-side share."""
-        rate = self.platform.labeling_rate(
-            self.pair.teacher_graph(), self.training_share
-        )
-        # Labeling consumes live frames; it cannot outpace their arrival.
-        return min(rate, self.config.frame_rate) if rate > 0 else 0.0
+        if self._labeling_sps is None:
+            rate = self.platform.labeling_rate(
+                self.pair.teacher_graph(), self.training_share
+            )
+            # Labeling consumes live frames; it cannot outpace their arrival.
+            self._labeling_sps = (
+                min(rate, self.config.frame_rate) if rate > 0 else 0.0
+            )
+        return self._labeling_sps
 
     def training_sps(self) -> float:
         """Retraining throughput under the training-side share."""
-        return self.platform.training_rate(
-            self.pair.student_graph(), self.training_share
-        )
+        if self._training_sps is None:
+            self._training_sps = self.platform.training_rate(
+                self.pair.student_graph(), self.training_share
+            )
+        return self._training_sps
 
     def validation_sps(self) -> float:
         """Validation (student forward) throughput on the training side."""
-        return self.platform.labeling_rate(
-            self.pair.student_graph(), self.training_share
-        )
+        if self._validation_sps is None:
+            self._validation_sps = self.platform.labeling_rate(
+                self.pair.student_graph(), self.training_share
+            )
+        return self._validation_sps
 
     # -- scheduling hook ---------------------------------------------------
 

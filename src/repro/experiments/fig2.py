@@ -9,7 +9,7 @@ and Ekya lose accuracy, driven by frame drops and starved retraining.
 
 from __future__ import annotations
 
-from repro.core.runner import build_fig2_system, run_on_scenario
+from repro.core import Fig2Cell, run_cells
 from repro.experiments.reporting import ExperimentResult, format_table
 
 __all__ = ["run_fig2"]
@@ -24,25 +24,31 @@ def run_fig2(
     duration_s: float = 600.0,
     scenario: str = "S5",
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Reproduce Figure 2's bars on a drifting scenario."""
-    rows = []
-    for pair in FIG2_PAIRS:
-        for platform in FIG2_PLATFORMS:
-            for kind in FIG2_KINDS:
-                system = build_fig2_system(kind, platform, pair)
-                result = run_on_scenario(
-                    system, scenario, seed=seed, duration_s=duration_s
-                )
-                rows.append(
-                    {
-                        "pair": pair,
-                        "platform": platform,
-                        "system": kind,
-                        "accuracy": result.average_accuracy(),
-                        "frame_drop_rate": result.frame_drop_rate,
-                    }
-                )
+    """Reproduce Figure 2's bars on a drifting scenario.
+
+    ``jobs > 1`` fans the independent (pair, platform, kind) cells across
+    worker processes with results identical to the serial run.
+    """
+    cells = [
+        Fig2Cell(kind, platform, pair, scenario, seed, duration_s)
+        for pair in FIG2_PAIRS
+        for platform in FIG2_PLATFORMS
+        for kind in FIG2_KINDS
+    ]
+    results = run_cells(cells, jobs=jobs)
+
+    rows = [
+        {
+            "pair": cell.pair,
+            "platform": cell.platform,
+            "system": cell.kind,
+            "accuracy": result.average_accuracy(),
+            "frame_drop_rate": result.frame_drop_rate,
+        }
+        for cell, result in zip(cells, results)
+    ]
     report = (
         "Figure 2: accuracy of student/teacher/Ekya on RTX 3090 vs Orin\n"
         f"(scenario {scenario}, {duration_s:.0f} s)\n"

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import build_system, run_on_scenario
+from repro.core import SystemCell, run_cells
 from repro.experiments.reporting import ExperimentResult, format_table
 from repro.learn import geometric_mean
 
@@ -35,19 +35,31 @@ def run_fig9(
     systems: tuple[str, ...] = FIG9_SYSTEMS,
     scenarios: tuple[str, ...] = FIG9_SCENARIOS,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Reproduce Figure 9's accuracy matrix with per-pair gmeans."""
+    """Reproduce Figure 9's accuracy matrix with per-pair gmeans.
+
+    Every (pair, system, scenario) cell is independent, so ``jobs > 1``
+    fans them across worker processes; results are identical to the serial
+    run at any worker count (each cell seeds its own RNGs).
+    """
+    cells = [
+        SystemCell(system_name, pair, scenario, seed, duration_s)
+        for pair in pairs
+        for system_name in systems
+        for scenario in scenarios
+    ]
+    results = run_cells(cells, jobs=jobs)
+
     rows = []
     accuracy: dict[tuple[str, str], list[float]] = {}
+    index = 0
     for pair in pairs:
         for system_name in systems:
             accs = []
-            for scenario in scenarios:
-                system = build_system(system_name, pair, seed=seed)
-                result = run_on_scenario(
-                    system, scenario, seed=seed, duration_s=duration_s
-                )
-                accs.append(result.average_accuracy())
+            for _ in scenarios:
+                accs.append(results[index].average_accuracy())
+                index += 1
             accuracy[(pair, system_name)] = accs
             row = {"pair": pair, "system": system_name}
             row.update(

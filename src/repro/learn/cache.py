@@ -1,0 +1,162 @@
+"""On-disk cache for pretrained proxy MLPs.
+
+Pretraining a student or teacher proxy is deterministic in (model name,
+data-geometry seed, pretraining seed) but costs seconds of SGD -- which
+every worker process of the parallel experiment runner would otherwise pay
+again.  This module persists the trained parameters as ``.npz`` files so a
+pretraining is computed once per machine instead of once per process.
+
+Cache keys include :data:`repro.learn.train.TRAINER_VERSION` and this
+module's :data:`CACHE_VERSION`, so stale entries are ignored (never
+migrated) whenever the pretraining numerics change.  Writes are atomic
+(temp file + rename), making concurrent writers race-safe: every writer
+produces byte-identical content, and readers only ever see complete files.
+
+The cache location is ``$REPRO_CACHE_DIR`` when set (an empty value
+disables caching entirely), else ``~/.cache/repro-dacapo``.  All failures
+are soft: a missing, corrupt, or unwritable cache silently falls back to
+recomputation, which yields the exact same weights.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.learn.mlp import MLPClassifier
+from repro.learn.train import TRAINER_VERSION
+
+__all__ = [
+    "CACHE_ENV",
+    "CACHE_VERSION",
+    "cache_dir",
+    "load_pretrained",
+    "pretrain_cache_key",
+    "store_pretrained",
+]
+
+#: Environment variable overriding the cache directory ("" disables).
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Layout/key version of the cache files themselves.
+CACHE_VERSION = 1
+
+
+def pretrain_cache_key(
+    samples: int,
+    epochs: int,
+    lr: float,
+    batch_size: int,
+    hidden_sizes: tuple[int, ...],
+) -> str:
+    """Key component covering the pretraining recipe and proxy architecture.
+
+    Both roles build their key through this one helper so the scheme cannot
+    drift between student and teacher: every remaining input the trained
+    weights depend on must be encoded here (or in the explicit key fields
+    of :func:`load_pretrained`).
+    """
+    hidden = "x".join(str(h) for h in hidden_sizes)
+    return f"{samples}e{epochs}lr{lr}b{batch_size}h{hidden}"
+
+
+def cache_dir() -> Path | None:
+    """The active cache directory, or None when caching is disabled."""
+    root = os.environ.get(CACHE_ENV)
+    if root is not None:
+        return Path(root) if root else None
+    return Path.home() / ".cache" / "repro-dacapo"
+
+
+def _entry_path(
+    role: str,
+    model_name: str,
+    geometry_seed: int,
+    seed: int,
+    pretrain_key: str,
+) -> Path | None:
+    base = cache_dir()
+    if base is None:
+        return None
+    safe_key = "".join(
+        c if c.isalnum() or c in "._-" else "_" for c in pretrain_key
+    )
+    name = (
+        f"{role}-{model_name}-g{geometry_seed}-s{seed}"
+        f"-v{CACHE_VERSION}-t{TRAINER_VERSION}-p{safe_key}.npz"
+    )
+    return base / name
+
+
+def load_pretrained(
+    role: str,
+    model_name: str,
+    geometry_seed: int,
+    seed: int,
+    pretrain_key: str = "",
+) -> MLPClassifier | None:
+    """Fetch cached pretrained parameters, or None on any miss/failure.
+
+    ``pretrain_key`` must encode every remaining input the trained weights
+    depend on (pretraining hyperparameters, proxy architecture), so that
+    changing any of them invalidates the entry rather than serving stale
+    weights.
+    """
+    path = _entry_path(role, model_name, geometry_seed, seed, pretrain_key)
+    if path is None:
+        return None
+    try:
+        with np.load(path) as data:
+            num_layers = int(data["num_layers"])
+            weights = [
+                np.ascontiguousarray(data[f"w{i}"], dtype=np.float64)
+                for i in range(num_layers)
+            ]
+            biases = [
+                np.ascontiguousarray(data[f"b{i}"], dtype=np.float64)
+                for i in range(num_layers)
+            ]
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+        return None
+    return MLPClassifier(weights=weights, biases=biases)
+
+
+def store_pretrained(
+    role: str,
+    model_name: str,
+    geometry_seed: int,
+    seed: int,
+    mlp: MLPClassifier,
+    pretrain_key: str = "",
+) -> None:
+    """Persist pretrained parameters; failures are silently ignored."""
+    path = _entry_path(role, model_name, geometry_seed, seed, pretrain_key)
+    if path is None:
+        return
+    arrays: dict[str, np.ndarray] = {
+        "num_layers": np.array(mlp.num_layers)
+    }
+    for i, (w, b) in enumerate(zip(mlp.weights, mlp.biases)):
+        arrays[f"w{i}"] = w
+        arrays[f"b{i}"] = b
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return

@@ -4,11 +4,18 @@ The behavioural proxy for every student/teacher model.  Supports optional
 MX precision injection on weights and activations during the forward pass
 (see :mod:`repro.learn.quantized`), mirroring how the DaCapo hardware
 executes inference at MX6 and training at MX9.
+
+Weight quantization is cached: between parameter updates the weights are
+immutable, so the per-layer ``effective_quantize`` result is computed once
+and reused across every forward pass (inference phases re-quantize nothing).
+The cache is invalidated whenever :meth:`train_step` or :meth:`restore`
+mutates the parameters; callers that assign ``weights``/``biases`` directly
+must call :meth:`invalidate_quantization_cache` themselves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,6 +44,11 @@ class MLPClassifier:
 
     weights: list[np.ndarray]
     biases: list[np.ndarray]
+    #: Per-(layer, format, sensitivity) quantized weights, valid until the
+    #: next parameter mutation.
+    _wq_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def create(
@@ -66,6 +78,25 @@ class MLPClassifier:
         """Number of weight layers."""
         return len(self.weights)
 
+    def invalidate_quantization_cache(self) -> None:
+        """Drop cached quantized weights (call after mutating parameters)."""
+        self._wq_cache.clear()
+
+    def _quantized_weight(
+        self, layer: int, fmt: MXFormat | None, sensitivity: float
+    ) -> np.ndarray:
+        """The layer's weights under MX precision, cached until mutation."""
+        if fmt is None:
+            return self.weights[layer]
+        key = (layer, fmt, sensitivity)
+        w_q = self._wq_cache.get(key)
+        if w_q is None:
+            w_q = effective_quantize(
+                self.weights[layer], fmt, sensitivity, axis=0
+            )
+            self._wq_cache[key] = w_q
+        return w_q
+
     def forward(
         self,
         x: np.ndarray,
@@ -81,9 +112,9 @@ class MLPClassifier:
         h = np.asarray(x, dtype=np.float64)
         if h.ndim != 2:
             raise ConfigurationError("forward expects a 2-D batch")
-        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+        for i, b in enumerate(self.biases):
             h_q = effective_quantize(h, fmt, sensitivity)
-            w_q = effective_quantize(w, fmt, sensitivity, axis=0)
+            w_q = self._quantized_weight(i, fmt, sensitivity)
             h = h_q @ w_q + b
             if i < self.num_layers - 1:
                 h = relu(h)
@@ -135,9 +166,9 @@ class MLPClassifier:
         inputs: list[np.ndarray] = []
         pre_acts: list[np.ndarray] = []
         h = x
-        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+        for i, b in enumerate(self.biases):
             h_q = effective_quantize(h, fmt, sensitivity)
-            w_q = effective_quantize(w, fmt, sensitivity, axis=0)
+            w_q = self._quantized_weight(i, fmt, sensitivity)
             inputs.append(h_q)
             z = h_q @ w_q + b
             pre_acts.append(z)
@@ -155,6 +186,7 @@ class MLPClassifier:
             grad = grad @ self.weights[i].T
             self.weights[i] = self.weights[i] - lr * grad_w
             self.biases[i] = self.biases[i] - lr * grad_b
+        self._wq_cache.clear()
         return loss
 
     def snapshot(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
@@ -173,6 +205,7 @@ class MLPClassifier:
             raise ConfigurationError("snapshot does not match architecture")
         self.weights = [w.copy() for w in weights]
         self.biases = [b.copy() for b in biases]
+        self._wq_cache.clear()
 
     def clone(self) -> "MLPClassifier":
         """Independent copy of this model."""

@@ -40,5 +40,11 @@ def effective_quantize(
     if sensitivity < 0:
         raise ConfigurationError("sensitivity must be non-negative")
     x = np.asarray(x, dtype=np.float64)
-    error = quantize(x, fmt, axis=axis) - x
-    return x + sensitivity * error
+    # Computed as x + sensitivity * (quantize(x) - x), accumulated in place
+    # on the freshly allocated quantized array (this is the hottest function
+    # in an end-to-end run; every temporary counts).
+    error = quantize(x, fmt, axis=axis)
+    error -= x
+    error *= sensitivity
+    error += x
+    return error

@@ -17,6 +17,11 @@ import numpy as np
 
 from repro.data.attributes import Domain, LabelDistribution
 from repro.data.distributions import DomainModel
+from repro.learn.cache import (
+    load_pretrained,
+    pretrain_cache_key,
+    store_pretrained,
+)
 from repro.learn.mlp import MLPClassifier
 from repro.learn.train import TrainConfig, train_sgd
 from repro.models.zoo import get_proxy_config
@@ -32,6 +37,18 @@ __all__ = ["StudentModel", "make_student"]
 _PRETRAIN_SAMPLES = 800
 _PRETRAIN_EPOCHS = 8
 _PRETRAIN_LR = 5e-2
+_PRETRAIN_BATCH = 32
+
+
+def _pretrain_cache_key(model_name: str) -> str:
+    """Disk-cache key component for everything else the weights depend on."""
+    return pretrain_cache_key(
+        _PRETRAIN_SAMPLES,
+        _PRETRAIN_EPOCHS,
+        _PRETRAIN_LR,
+        _PRETRAIN_BATCH,
+        get_proxy_config(model_name).hidden_sizes,
+    )
 
 
 @dataclass
@@ -102,6 +119,12 @@ class StudentModel:
 def _pretrained_mlp(
     model_name: str, geometry_seed: int, seed: int
 ) -> MLPClassifier:
+    cache_key = _pretrain_cache_key(model_name)
+    cached = load_pretrained(
+        "student", model_name, geometry_seed, seed, cache_key
+    )
+    if cached is not None:
+        return cached
     domain_model = DomainModel(geometry_seed=geometry_seed)
     config = get_proxy_config(model_name)
     rng = np.random.default_rng((seed, zlib.crc32(model_name.encode()) & 0xFFFF, 1))
@@ -117,10 +140,13 @@ def _pretrained_mlp(
         mlp, x, y,
         TrainConfig(
             learning_rate=_PRETRAIN_LR,
-            batch_size=32,
+            batch_size=_PRETRAIN_BATCH,
             epochs=_PRETRAIN_EPOCHS,
         ),
         rng,
+    )
+    store_pretrained(
+        "student", model_name, geometry_seed, seed, mlp, cache_key
     )
     return mlp
 

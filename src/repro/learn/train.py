@@ -14,7 +14,12 @@ from repro.errors import ConfigurationError
 from repro.learn.mlp import MLPClassifier
 from repro.mx import MXFormat
 
-__all__ = ["TrainConfig", "train_sgd"]
+__all__ = ["TRAINER_VERSION", "TrainConfig", "train_sgd"]
+
+#: Version of the training-loop numerics.  Bump whenever a change to this
+#: module (or anything it calls) can alter trained weights at a fixed seed;
+#: the on-disk pretrained-model cache keys on it (:mod:`repro.learn.cache`).
+TRAINER_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -62,12 +67,16 @@ def train_sgd(
     losses: list[float] = []
     for _ in range(config.epochs):
         order = rng.permutation(len(x))
+        # One gather per epoch; batches below are contiguous views into the
+        # shuffled copies instead of per-batch fancy-index copies.
+        x_epoch = x[order]
+        y_epoch = y[order]
         epoch_losses: list[float] = []
         for start in range(0, len(x), config.batch_size):
-            batch = order[start:start + config.batch_size]
+            stop = start + config.batch_size
             loss = model.train_step(
-                x[batch],
-                y[batch],
+                x_epoch[start:stop],
+                y_epoch[start:stop],
                 lr=config.learning_rate,
                 fmt=config.fmt,
                 sensitivity=config.sensitivity,

@@ -44,6 +44,10 @@ class ModelGraph:
             dupes = sorted({n for n in names if names.count(n) > 1})
             raise ModelSpecError(f"{self.name}: duplicate layer names {dupes}")
         object.__setattr__(self, "_names", frozenset(names))
+        # Per-batch GEMM work-list memo (plain attribute, not a field, so it
+        # stays out of __eq__/__hash__/__repr__).  Layers are immutable, so
+        # the work list for a batch size never changes.
+        object.__setattr__(self, "_gemm_cache", {})
 
     @property
     def params(self) -> int:
@@ -77,11 +81,15 @@ class ModelGraph:
         return self.macs(1, include_attention_bmm=False) / 1e9
 
     def gemms(self, batch: int = 1) -> tuple[Gemm, ...]:
-        """The full GEMM work list for one forward pass of a batch."""
-        work: list[Gemm] = []
-        for layer in self.layers:
-            work.extend(layer.gemms(batch))
-        return tuple(work)
+        """The full GEMM work list for one forward pass of a batch (memoized)."""
+        cached = self._gemm_cache.get(batch)
+        if cached is None:
+            work: list[Gemm] = []
+            for layer in self.layers:
+                work.extend(layer.gemms(batch))
+            cached = tuple(work)
+            self._gemm_cache[batch] = cached
+        return cached
 
     def weight_elems(self) -> int:
         """Parameter elements streamed per forward pass (equals params)."""

@@ -1,0 +1,20 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+from repro.learn.cache import CACHE_ENV
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_pretrain_cache(tmp_path_factory):
+    """Keep the pretrained-model disk cache inside the test sandbox.
+
+    Without this, every test that builds a student/teacher would read from
+    and write to the user's real ``~/.cache/repro-dacapo``, making test
+    outcomes depend on machine-global state.  Tests exercising the cache
+    itself override the variable again with their own tmp dirs.
+    """
+    mp = pytest.MonkeyPatch()
+    mp.setenv(CACHE_ENV, str(tmp_path_factory.mktemp("pretrain-cache")))
+    yield
+    mp.undo()

@@ -1,0 +1,91 @@
+"""Tests for the parallel experiment runner (determinism and equivalence)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Fig2Cell, SystemCell, run_cells
+from repro.core.parallel import _run_cell, warm_model_caches
+from repro.errors import ConfigurationError
+from repro.learn.cache import CACHE_ENV
+
+DURATION = 60.0
+
+
+@pytest.fixture(autouse=True)
+def isolated_disk_cache(tmp_path, monkeypatch):
+    """Keep worker processes' pretrain cache inside the test sandbox."""
+    monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+
+
+def assert_results_identical(a, b):
+    assert a.system == b.system and a.scenario == b.scenario
+    np.testing.assert_array_equal(a.correct, b.correct)
+    np.testing.assert_array_equal(a.dropped, b.dropped)
+    assert a.phases == b.phases
+    assert a.duration_s == b.duration_s
+
+
+class TestRunCells:
+    def test_parallel_matches_serial(self):
+        cells = [
+            SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S1", 0, DURATION),
+            SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S4", 0, DURATION),
+            SystemCell("OrinHigh-EOMU", "resnet18_wrn50", "S1", 0, DURATION),
+        ]
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=2)
+        assert len(serial) == len(parallel) == len(cells)
+        for a, b in zip(serial, parallel):
+            assert_results_identical(a, b)
+
+    def test_same_seed_is_deterministic_through_the_pool(self):
+        # The ISSUE's determinism guard: the same (system, scenario, seed)
+        # cell yields identical RunResult.correct wherever it runs.
+        cell = SystemCell(
+            "DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", 0, DURATION
+        )
+        twice = run_cells([cell, cell], jobs=2)
+        assert_results_identical(twice[0], twice[1])
+        assert_results_identical(twice[0], _run_cell(cell))
+
+    def test_different_seeds_differ(self):
+        cells = [
+            SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", 0, DURATION),
+            SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", 7, DURATION),
+        ]
+        results = run_cells(cells, jobs=1)
+        assert not np.array_equal(results[0].correct, results[1].correct)
+
+    def test_fig2_cells_run(self):
+        cells = [
+            Fig2Cell("student", "RTX3090", "resnet18_wrn50", "S5", 0, DURATION),
+            Fig2Cell("ekya", "OrinHigh", "resnet18_wrn50", "S5", 0, DURATION),
+        ]
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert_results_identical(a, b)
+
+    def test_rejects_unknown_cell_types(self):
+        with pytest.raises(ConfigurationError):
+            run_cells(["not-a-cell"], jobs=1)
+        with pytest.raises(ConfigurationError):
+            run_cells([], jobs=-1)
+
+    def test_empty_grid(self):
+        assert run_cells([], jobs=4) == []
+
+    def test_jobs_zero_means_all_cores(self):
+        cell = SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", 0, DURATION)
+        auto = run_cells([cell], jobs=0)
+        assert_results_identical(auto[0], _run_cell(cell))
+
+
+class TestWarmModelCaches:
+    def test_warms_each_pair_once(self):
+        cells = [
+            SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", 0, DURATION),
+            SystemCell("OrinLow-Ekya", "resnet18_wrn50", "S2", 0, DURATION),
+        ]
+        warm_model_caches(cells)  # must not raise; idempotent
+        warm_model_caches(cells)

@@ -1,0 +1,115 @@
+"""Equivalence tests: cached weight quantization == recomputed quantization."""
+
+import numpy as np
+import pytest
+
+from repro.learn import MLPClassifier
+from repro.learn.ops import relu
+from repro.learn.quantized import effective_quantize
+from repro.mx import MX6, MX9
+
+
+def make_mlp(seed=0, hidden=(8,), classes=4, dim=6):
+    return MLPClassifier.create(
+        dim, hidden, classes, np.random.default_rng(seed)
+    )
+
+
+def uncached_forward(mlp, x, fmt, sensitivity=1.0):
+    """The pre-cache forward pass: re-quantize weights on every call."""
+    h = np.asarray(x, dtype=np.float64)
+    for i, (w, b) in enumerate(zip(mlp.weights, mlp.biases)):
+        h_q = effective_quantize(h, fmt, sensitivity)
+        w_q = effective_quantize(w, fmt, sensitivity, axis=0)
+        h = h_q @ w_q + b
+        if i < mlp.num_layers - 1:
+            h = relu(h)
+    return h
+
+
+@pytest.mark.parametrize("fmt", [MX6, MX9], ids=lambda f: f.name)
+@pytest.mark.parametrize("sensitivity", [1.0, 2.5])
+class TestForwardCacheEquivalence:
+    def test_repeated_forward_is_bit_identical(self, fmt, sensitivity):
+        mlp = make_mlp()
+        x = np.random.default_rng(1).normal(size=(20, 6))
+        expected = uncached_forward(mlp, x, fmt, sensitivity)
+        first = mlp.forward(x, fmt, sensitivity)  # fills the cache
+        second = mlp.forward(x, fmt, sensitivity)  # served from the cache
+        np.testing.assert_array_equal(first, expected)
+        np.testing.assert_array_equal(second, expected)
+
+    def test_forward_after_train_step(self, fmt, sensitivity):
+        mlp = make_mlp()
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(20, 6))
+        y = rng.integers(0, 4, 20)
+        mlp.forward(x, fmt, sensitivity)  # warm the cache pre-update
+        mlp.train_step(x, y, lr=0.1, fmt=fmt, sensitivity=sensitivity)
+        np.testing.assert_array_equal(
+            mlp.forward(x, fmt, sensitivity),
+            uncached_forward(mlp, x, fmt, sensitivity),
+        )
+
+    def test_forward_after_restore(self, fmt, sensitivity):
+        mlp = make_mlp()
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(20, 6))
+        y = rng.integers(0, 4, 20)
+        state = mlp.snapshot()
+        before = mlp.forward(x, fmt, sensitivity)
+        mlp.train_step(x, y, lr=0.5, fmt=fmt, sensitivity=sensitivity)
+        mlp.forward(x, fmt, sensitivity)  # cache holds post-step weights
+        mlp.restore(state)
+        restored = mlp.forward(x, fmt, sensitivity)
+        np.testing.assert_array_equal(restored, before)
+        np.testing.assert_array_equal(
+            restored, uncached_forward(mlp, x, fmt, sensitivity)
+        )
+
+    def test_clone_does_not_share_cache(self, fmt, sensitivity):
+        mlp = make_mlp()
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(20, 6))
+        y = rng.integers(0, 4, 20)
+        mlp.forward(x, fmt, sensitivity)  # warm the original's cache
+        twin = mlp.clone()
+        twin.train_step(x, y, lr=0.5, fmt=fmt, sensitivity=sensitivity)
+        # Training the clone neither poisons the original's cache...
+        np.testing.assert_array_equal(
+            mlp.forward(x, fmt, sensitivity),
+            uncached_forward(mlp, x, fmt, sensitivity),
+        )
+        # ...nor does the clone serve the original's stale entries.
+        np.testing.assert_array_equal(
+            twin.forward(x, fmt, sensitivity),
+            uncached_forward(twin, x, fmt, sensitivity),
+        )
+
+
+class TestCacheHousekeeping:
+    def test_fp32_path_bypasses_cache(self):
+        mlp = make_mlp()
+        x = np.random.default_rng(5).normal(size=(4, 6))
+        mlp.forward(x)
+        assert not mlp._wq_cache
+
+    def test_explicit_invalidation_after_manual_mutation(self):
+        mlp = make_mlp()
+        x = np.random.default_rng(6).normal(size=(4, 6))
+        mlp.forward(x, MX6)
+        assert mlp._wq_cache
+        mlp.weights[0] = mlp.weights[0] * 2.0
+        mlp.invalidate_quantization_cache()
+        np.testing.assert_array_equal(
+            mlp.forward(x, MX6), uncached_forward(mlp, x, MX6)
+        )
+
+    def test_distinct_formats_and_sensitivities_get_distinct_entries(self):
+        mlp = make_mlp()
+        x = np.random.default_rng(7).normal(size=(4, 6))
+        mlp.forward(x, MX6, 1.0)
+        mlp.forward(x, MX9, 1.0)
+        mlp.forward(x, MX6, 2.5)
+        keys = set(mlp._wq_cache)
+        assert len(keys) == 3 * mlp.num_layers

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.mx import FORMATS, MX4, MX9, dequantize, quantize, quantize_blocks
+from repro.mx.formats import MIN_SHARED_EXPONENT
 
 finite_floats = st.floats(
     min_value=-1e30,
@@ -21,6 +22,25 @@ vectors = hnp.arrays(
 )
 
 formats = st.sampled_from(FORMATS)
+
+#: Magnitude floor keeping every exponent comfortably above the shared-
+#: exponent clamp even after scaling by the test's power-of-two factors.
+#: Below ``2 ** MIN_SHARED_EXPONENT`` the 8-bit shared exponent saturates
+#: and power-of-two scaling genuinely stops commuting (see
+#: ``test_clamped_binade_saturates``), exactly as on the hardware.
+_UNCLAMPED_MIN = 2.0 ** (MIN_SHARED_EXPONENT + 6)
+
+unclamped_floats = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=_UNCLAMPED_MIN, max_value=1e30),
+    st.floats(min_value=-1e30, max_value=-_UNCLAMPED_MIN),
+)
+
+unclamped_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=100),
+    elements=unclamped_floats,
+)
 
 
 @given(vectors, formats)
@@ -66,15 +86,62 @@ def test_precision_ordering(x):
     )
 
 
-@given(vectors, formats, st.floats(min_value=0.25, max_value=4.0))
+@given(unclamped_vectors, formats, st.floats(min_value=0.25, max_value=4.0))
 @settings(max_examples=200, deadline=None)
 def test_power_of_two_scaling_commutes(x, fmt, scale_pow):
     # Scaling inputs by a power of two scales the output identically,
-    # because block exponents shift uniformly.
+    # because block exponents shift uniformly -- as long as no block
+    # saturates the shared-exponent clamp (bounded by the strategy; the
+    # clamped binade is pinned by test_clamped_binade_saturates below).
     factor = 2.0 ** np.floor(np.log2(scale_pow))
     lhs = quantize(x * factor, fmt)
     rhs = quantize(x, fmt) * factor
     np.testing.assert_allclose(lhs, rhs, rtol=0, atol=0)
+
+
+def test_clamped_binade_saturates():
+    # Regression for the property above: below 2**MIN_SHARED_EXPONENT the
+    # 8-bit shared exponent clamps, the mantissa grid stops tracking the
+    # input binade, and power-of-two scaling no longer commutes.  This is
+    # faithful hardware saturation, not an encoder bug.
+    tiny = 1.74710504e-39  # ~1.19 * 2**-129, three binades under the clamp
+    x = np.array([tiny])
+
+    for fmt in FORMATS:
+        enc = quantize_blocks(x, fmt)
+        # The shared exponent saturates at the clamp (the zero padding of
+        # the block carries the sentinel minimum exponent as well).
+        assert enc.shared_exponents.max() == MIN_SHARED_EXPONENT
+
+    # At MX4 the clamped grid step is 2**-127: quantize(x) underflows to 0
+    # while quantize(2 * x) rounds up to one step, so scaling by 2 does not
+    # commute -- the exact falsifying example the unbounded property finds.
+    assert quantize(x, MX4)[0] == 0.0
+    assert quantize(2.0 * x, MX4)[0] != 0.0
+
+    # Back inside the representable range the property holds again.
+    safe = x * 2.0 ** 64
+    np.testing.assert_array_equal(
+        quantize(2.0 * safe, MX4), 2.0 * quantize(safe, MX4)
+    )
+
+
+@given(vectors, formats)
+@settings(max_examples=200, deadline=None)
+def test_fused_quantize_matches_encode_decode_bitwise(x, fmt):
+    # The fused fake-quantize must equal the explicit encode/decode path to
+    # the last bit -- including the sign of zeros, which array_equal would
+    # not catch (the int32 round-trip normalizes -0.0 to +0.0).
+    fused = quantize(x, fmt)
+    reference = dequantize(quantize_blocks(x, fmt))
+    assert fused.tobytes() == reference.tobytes()
+
+
+def test_fused_quantize_normalizes_negative_zero():
+    # round(-0.001 / scale) produces -0.0; the fused kernel must emit +0.0
+    # exactly as the old float64 -> int32 -> float64 round-trip did.
+    out = quantize(np.array([-0.2, 0.0, 1.0, -3.7, -1e-3]), MX4)
+    assert not np.signbit(out[np.where(out == 0.0)]).any()
 
 
 @given(vectors, formats)
