@@ -6,18 +6,23 @@ Subcommands:
 - ``experiment <id>`` -- run one paper artifact and print its report.
 - ``run <system> <pair> <scenario>`` -- run one system and print a summary.
 - ``tune <pair>`` -- offline hyperparameter search (section VI-D).
+
+``--profile`` (on ``experiment`` and ``run``) prints a phase-level
+wall-time breakdown (materialize / pretrain / label / retrain / inference)
+after the report; profiling is per-process, so combine it with ``--jobs 1``
+for complete coverage.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 
+from repro import profiling
 from repro.core import SYSTEM_BUILDERS, build_system, run_on_scenario
 from repro.core.tuning import tune_hyperparameters
 from repro.data.scenarios import SCENARIO_NAMES
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS, run_experiment, supports_jobs
 from repro.models import MODEL_PAIRS
 
 
@@ -34,8 +39,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.duration is not None:
         kwargs["duration_s"] = args.duration
     if args.jobs is not None:
-        runner = EXPERIMENTS[args.id]
-        if "jobs" not in inspect.signature(runner).parameters:
+        if not supports_jobs(args.id):
             print(
                 f"experiment {args.id!r} does not support --jobs; "
                 "running serially",
@@ -43,18 +47,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
         else:
             kwargs["jobs"] = args.jobs
-    result = run_experiment(args.id, **kwargs)
+    profiler = profiling.enable() if args.profile else None
+    try:
+        result = run_experiment(args.id, **kwargs)
+    finally:
+        if profiler is not None:
+            profiling.disable()
     print(result.report)
+    if profiler is not None:
+        print()
+        print(profiler.report())
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    system = build_system(args.system, args.pair, seed=args.seed)
-    result = run_on_scenario(
-        system, args.scenario, seed=args.seed, duration_s=args.duration
-    )
+    profiler = profiling.enable() if args.profile else None
+    try:
+        system = build_system(args.system, args.pair, seed=args.seed)
+        result = run_on_scenario(
+            system, args.scenario, seed=args.seed, duration_s=args.duration
+        )
+    finally:
+        if profiler is not None:
+            profiling.disable()
     for key, value in result.summary().items():
         print(f"{key:22s} {value}")
+    if profiler is not None:
+        print()
+        print(profiler.report())
     return 0
 
 
@@ -85,6 +105,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="worker processes for grid experiments; 0 uses "
                             "all cores (results are identical at any "
                             "worker count)")
+    p_exp.add_argument("--profile", action="store_true",
+                       help="print a phase-level wall-time breakdown "
+                            "(per-process; pair with --jobs 1 for "
+                            "complete coverage)")
 
     p_run = sub.add_parser("run", help="run one system on one scenario")
     p_run.add_argument("system", choices=list(SYSTEM_BUILDERS))
@@ -92,6 +116,8 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("scenario", choices=list(SCENARIO_NAMES))
     p_run.add_argument("--duration", type=float, default=None)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--profile", action="store_true",
+                       help="print a phase-level wall-time breakdown")
 
     p_tune = sub.add_parser("tune", help="offline hyperparameter search")
     p_tune.add_argument("pair", choices=list(MODEL_PAIRS))

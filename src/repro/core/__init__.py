@@ -38,6 +38,7 @@ from repro.core.parallel import (
     Fig2Cell,
     SystemCell,
     default_jobs,
+    parallel_map,
     run_cells,
     warm_model_caches,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "default_jobs",
     "default_search_space",
     "hyperparameter_table",
+    "parallel_map",
     "run_cells",
     "run_on_scenario",
     "tune_hyperparameters",

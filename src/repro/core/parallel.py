@@ -1,4 +1,4 @@
-"""Parallel experiment runner: fan (system, scenario, seed) cells over cores.
+"""Parallel experiment runner: shard (scenario, seed) work over cores.
 
 The experiment grids (6 systems x 6 scenarios x 3 pairs for Figure 9 and
 friends) are embarrassingly parallel: every cell builds its own system from
@@ -7,11 +7,19 @@ state.  This module executes such grids with a :class:`ProcessPoolExecutor`
 while keeping results *identical* to the serial path:
 
 - Cells are described declaratively (:class:`SystemCell` / :class:`Fig2Cell`)
-  and dispatched by a module-level worker, so they pickle cleanly.
+  and dispatched by module-level workers, so they pickle cleanly.
 - Results come back in submission order regardless of completion order.
 - Each cell seeds its own RNGs exactly as the serial code does, so a cell's
   :class:`~repro.core.results.RunResult` does not depend on which process
-  ran it or on how many workers there were.
+  ran it, on how many workers there were, or on how cells were sharded.
+
+**Sharding.**  Cells are grouped into shards by their stream signature --
+(scenario, seed, duration) -- and each shard runs inside one worker, so the
+36,000-frame stream every cell of the shard consumes is materialized (or
+memmap-opened from the artifact store, :mod:`repro.data.artifacts`) once
+per worker instead of once per cell.  When the grid has fewer distinct
+streams than workers, the largest shards are split so all cores stay busy;
+split shards still share the stream through the store's disk tier.
 
 Model pretraining is the per-process fixed cost; before forking, the parent
 warms the in-process (and on-disk, see :mod:`repro.learn.cache`) pretrained
@@ -24,7 +32,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.results import RunResult
 from repro.core.runner import build_fig2_system, build_system, run_on_scenario
@@ -37,6 +45,7 @@ __all__ = [
     "Fig2Cell",
     "SystemCell",
     "default_jobs",
+    "parallel_map",
     "run_cells",
     "warm_model_caches",
 ]
@@ -99,6 +108,47 @@ def _run_cell(cell) -> RunResult:
     )
 
 
+def _run_shard(cells: tuple) -> list[RunResult]:
+    """Execute one shard of stream-sharing cells, in order.
+
+    The first cell materializes (or memmap-opens) the shard's stream; the
+    rest hit the artifact store's in-process LRU.
+    """
+    return [_run_cell(cell) for cell in cells]
+
+
+def _stream_signature(cell) -> tuple:
+    """The (scenario, seed, duration) key identifying a cell's stream."""
+    return (cell.scenario, cell.seed, cell.duration_s)
+
+
+def _shard_cells(
+    cells: Sequence, jobs: int
+) -> list[list[tuple[int, object]]]:
+    """Group (index, cell) pairs into stream-sharing shards.
+
+    Shards are split (largest first) until there is one per worker or
+    nothing splittable remains, so small grids with few distinct streams
+    still use every core.  Splits interleave (evens/odds) rather than
+    halve: grids typically order cells cheap-systems-first within a
+    scenario, and contiguous halves would put every expensive system in
+    one worker.  Result order is restored from the carried indices, so
+    the split pattern never affects output.
+    """
+    groups: dict[tuple, list[tuple[int, object]]] = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault(_stream_signature(cell), []).append((index, cell))
+    shards = list(groups.values())
+    target = min(jobs, len(cells))
+    while len(shards) < target:
+        largest = max(range(len(shards)), key=lambda i: len(shards[i]))
+        if len(shards[largest]) <= 1:
+            break
+        shard = shards.pop(largest)
+        shards.extend([shard[::2], shard[1::2]])
+    return shards
+
+
 def warm_model_caches(cells: Iterable[SystemCell | Fig2Cell]) -> None:
     """Pretrain every distinct (pair, seed) once in this process.
 
@@ -157,9 +207,42 @@ def run_cells(
                 f"unknown grid cell type {type(cell)!r}"
             )
     if jobs <= 1 or len(cells) <= 1:
+        # Serial cells still share streams through the artifact store.
         return [_run_cell(cell) for cell in cells]
 
     warm_model_caches(cells)
-    workers = min(jobs, len(cells))
+    shards = _shard_cells(cells, jobs)
+    payloads = [tuple(cell for _, cell in shard) for shard in shards]
+    workers = min(jobs, len(shards))
+    results: list[RunResult | None] = [None] * len(cells)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_cell, cells, chunksize=1))
+        for shard, outputs in zip(
+            shards, pool.map(_run_shard, payloads, chunksize=1)
+        ):
+            for (index, _), result in zip(shard, outputs):
+                results[index] = result
+    return results
+
+
+def parallel_map(
+    fn: Callable, items: Iterable, jobs: int = 1
+) -> list:
+    """Order-preserving map, in-process or across worker processes.
+
+    Args:
+        fn: A module-level (pickleable) callable of one argument.
+        items: Inputs, in the order results should come back.
+        jobs: Worker processes; 1 maps in-process, 0 means "all cores".
+
+    Lightweight experiments (Table II/III rows) fan out through this rather
+    than hand-rolling executors; results are identical at any jobs count.
+    """
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = default_jobs()
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items, chunksize=1))

@@ -20,6 +20,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro import profiling
 from repro.core.buffer import SampleBuffer
 from repro.core.config import DaCapoConfig
 from repro.core.phases import PhaseKind, PhaseRecord
@@ -194,15 +195,16 @@ class CLSystemBase:
             duration = self.retrain_duration_s(len(x_train), len(x_val))
 
         def commit(t0: float, t1: float) -> bool:
-            self.student.retrain(
-                x_train,
-                y_train,
-                epochs=self.config.epochs,
-                rng=rng,
-                learning_rate=self.config.learning_rate,
-                batch_size=self.config.batch_size,
-            )
-            outcome["accv"] = self.student.accuracy(x_val, y_val)
+            with profiling.scope(profiling.RETRAIN):
+                self.student.retrain(
+                    x_train,
+                    y_train,
+                    epochs=self.config.epochs,
+                    rng=rng,
+                    learning_rate=self.config.learning_rate,
+                    batch_size=self.config.batch_size,
+                )
+                outcome["accv"] = self.student.accuracy(x_val, y_val)
             return False
 
         step = PhaseStep(
@@ -237,30 +239,31 @@ class CLSystemBase:
         duration = self.label_duration_s(num_label)
 
         def commit(t0: float, t1: float) -> bool:
-            window = frames.window(t0, t1)
-            if len(window) == 0:
-                outcome["labeled"] = 0
-                return False
-            count = min(num_label, len(window))
-            picked = rng.choice(len(window), size=count, replace=False)
-            picked.sort()
-            x = window.features[picked]
-            assert self.teacher is not None
-            teacher_labels = self.teacher.label(x)
-            predictions = self.student.predict(x)
-            accl = float(np.mean(predictions == teacher_labels))
-            outcome["accl"] = accl
-            outcome["labeled"] = count
+            with profiling.scope(profiling.LABEL):
+                window = frames.window(t0, t1)
+                if len(window) == 0:
+                    outcome["labeled"] = 0
+                    return False
+                count = min(num_label, len(window))
+                picked = rng.choice(len(window), size=count, replace=False)
+                picked.sort()
+                x = window.features[picked]
+                assert self.teacher is not None
+                teacher_labels = self.teacher.label(x)
+                predictions = self.student.predict(x)
+                accl = float(np.mean(predictions == teacher_labels))
+                outcome["accl"] = accl
+                outcome["labeled"] = count
 
-            drift = False
-            if check_drift_against is not None:
-                accv = check_drift_against()
-                if accv is not None:
-                    drift = (accl - accv) < self.config.drift_threshold
-            if drift:
-                self.buffer.reset()  # Algorithm 1 line 12
-            self.buffer.add(x, teacher_labels)
-            outcome["drift"] = drift
+                drift = False
+                if check_drift_against is not None:
+                    accv = check_drift_against()
+                    if accv is not None:
+                        drift = (accl - accv) < self.config.drift_threshold
+                if drift:
+                    self.buffer.reset()  # Algorithm 1 line 12
+                self.buffer.add(x, teacher_labels)
+                outcome["drift"] = drift
             return drift
 
         step = PhaseStep(
@@ -272,7 +275,8 @@ class CLSystemBase:
 
     def run(self, stream: ScenarioStream, seed: int = 0) -> RunResult:
         """Simulate the system over a scenario stream."""
-        frames = stream.materialize(seed)
+        with profiling.scope(profiling.MATERIALIZE):
+            frames = stream.materialize(seed)
         duration = stream.duration_s
         rng = np.random.default_rng(
             (seed, zlib.crc32(self.name.encode()) & 0xFFFF)
@@ -334,19 +338,20 @@ class CLSystemBase:
         """Score frames in ``[t0, t1)`` with the current student weights."""
         if t1 <= t0:
             return
-        lo = int(np.searchsorted(frames.times, t0, side="left"))
-        hi = int(np.searchsorted(frames.times, t1, side="left"))
-        if hi <= lo:
-            return
-        window_features = frames.features[lo:hi]
-        window_labels = frames.labels[lo:hi]
-        predictions = self.student.predict(window_features)
-        ok = predictions == window_labels
-        if self.drop_rate > 0:
-            drops = rng.random(hi - lo) < self.drop_rate
-            ok = ok & ~drops
-            dropped[lo:hi] = drops
-        correct[lo:hi] = ok
+        with profiling.scope(profiling.INFERENCE):
+            lo = int(np.searchsorted(frames.times, t0, side="left"))
+            hi = int(np.searchsorted(frames.times, t1, side="left"))
+            if hi <= lo:
+                return
+            window_features = frames.features[lo:hi]
+            window_labels = frames.labels[lo:hi]
+            predictions = self.student.predict(window_features)
+            ok = predictions == window_labels
+            if self.drop_rate > 0:
+                drops = rng.random(hi - lo) < self.drop_rate
+                ok = ok & ~drops
+                dropped[lo:hi] = drops
+            correct[lo:hi] = ok
 
 
 class DaCapoSystem(CLSystemBase):

@@ -25,6 +25,12 @@ from repro.data.attributes import (
 )
 from repro.data.distributions import DomainModel
 from repro.data.stream import FrameWindow, Segment, ScenarioStream
+from repro.data.artifacts import (
+    ArtifactStore,
+    caching_disabled,
+    get_store,
+    stream_key,
+)
 from repro.data.scenarios import (
     SCENARIO_NAMES,
     build_scenario,
@@ -34,6 +40,7 @@ from repro.data.sampler import stratified_indices, uniform_sample_indices
 
 __all__ = [
     "ALL_CLASSES",
+    "ArtifactStore",
     "Domain",
     "DomainModel",
     "FrameWindow",
@@ -46,7 +53,10 @@ __all__ = [
     "TimeOfDay",
     "Weather",
     "build_scenario",
+    "caching_disabled",
+    "get_store",
     "scenario_table",
     "stratified_indices",
+    "stream_key",
     "uniform_sample_indices",
 ]

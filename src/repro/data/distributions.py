@@ -30,6 +30,7 @@ what the paper's Figure 8 label-distribution histograms show.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy.linalg import expm, qr
@@ -97,6 +98,39 @@ def _in_span_rotation(
     return expm(angle * (span_basis @ antisym @ span_basis.T))
 
 
+@lru_cache(maxsize=None)
+def _geometry(
+    feature_dim: int, geometry_seed: int
+) -> tuple[np.ndarray, dict]:
+    """The (means, rotations) geometry for one seed, computed once.
+
+    Every :class:`DomainModel` with the same (feature_dim, geometry_seed)
+    shares these arrays -- the ``expm``/``qr`` construction is the dominant
+    cost of building a model, and experiment grids build one per cell.  The
+    arrays are frozen read-only since they are shared.
+    """
+    rng = np.random.default_rng(geometry_seed)
+    n = len(ALL_CLASSES)
+    directions = rng.normal(size=(n, feature_dim))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    means = CLASS_SEPARATION * directions
+    span, _ = qr(means.T, mode="economic")
+
+    rotations: dict[object, np.ndarray] = {}
+    for attribute, angle in (
+        (TimeOfDay.NIGHT, ROTATION_ANGLE),
+        (Location.HIGHWAY, ROTATION_ANGLE),
+        (Weather.OVERCAST, OVERCAST_ANGLE),
+        (Weather.SNOWY, ROTATION_ANGLE),
+        (Weather.RAINY, ROTATION_ANGLE),
+    ):
+        rotation = _in_span_rotation(span, angle, rng)
+        rotation.setflags(write=False)
+        rotations[attribute] = rotation
+    means.setflags(write=False)
+    return means, rotations
+
+
 @dataclass(frozen=True)
 class DomainModel:
     """Frozen generative geometry for every (class, domain) combination.
@@ -120,26 +154,11 @@ class DomainModel:
                 f"feature_dim must be >= {len(ALL_CLASSES)} so class means "
                 "span a full rotation subspace"
             )
-        rng = np.random.default_rng(self.geometry_seed)
-        n = len(ALL_CLASSES)
-        directions = rng.normal(size=(n, self.feature_dim))
-        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
-        means = CLASS_SEPARATION * directions
-        span, _ = qr(means.T, mode="economic")
-
-        rotations: dict[object, np.ndarray] = {}
-        for attribute, angle in (
-            (TimeOfDay.NIGHT, ROTATION_ANGLE),
-            (Location.HIGHWAY, ROTATION_ANGLE),
-            (Weather.OVERCAST, OVERCAST_ANGLE),
-            (Weather.SNOWY, ROTATION_ANGLE),
-            (Weather.RAINY, ROTATION_ANGLE),
-        ):
-            rotations[attribute] = _in_span_rotation(span, angle, rng)
-
+        means, rotations = _geometry(self.feature_dim, self.geometry_seed)
         object.__setattr__(self, "_means", means)
         object.__setattr__(self, "_rotations", rotations)
         object.__setattr__(self, "_means_cache", {})
+        object.__setattr__(self, "_priors_cache", {})
 
     @property
     def num_classes(self) -> int:
@@ -181,7 +200,13 @@ class DomainModel:
         """Class sampling probabilities in a domain (sums to 1).
 
         Classes outside the segment's label distribution get probability 0.
+        Results are cached per (location, labels) -- the only attributes the
+        priors depend on -- and returned read-only.
         """
+        key = (domain.location, domain.labels)
+        cached = self._priors_cache.get(key)
+        if cached is not None:
+            return cached
         priors = _BASE_PRIORS.copy()
         tilt = (
             _CITY_TILT if domain.location is Location.CITY else _HIGHWAY_TILT
@@ -192,12 +217,31 @@ class DomainModel:
         total = priors.sum()
         if total <= 0:
             raise ScenarioError(f"empty class priors for {domain.describe()}")
-        return priors / total
+        priors = priors / total
+        priors.setflags(write=False)
+        self._priors_cache[key] = priors
+        return priors
 
     def sample(
-        self, domain: Domain, n: int, rng: np.random.Generator
+        self,
+        domain: Domain,
+        n: int,
+        rng: np.random.Generator,
+        out_features: np.ndarray | None = None,
+        out_labels: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Draw ``n`` labeled frames from a domain.
+
+        Args:
+            out_features: Optional ``(n, feature_dim)`` float64 buffer the
+                features are generated *into* (the batched stream generator
+                passes preallocated slices to skip the concatenation copy).
+            out_labels: Optional ``(n,)`` int64 buffer for the labels.
+
+        The randomness consumed -- one ``choice`` draw for the labels, one
+        standard-normal block for the noise -- is identical with or without
+        the output buffers, so the drawn values are bit-identical either
+        way.
 
         Returns:
             ``(X, y)`` with ``X`` of shape ``(n, feature_dim)`` and integer
@@ -207,8 +251,15 @@ class DomainModel:
             raise ScenarioError("sample size must be non-negative")
         priors = self.class_priors(domain)
         labels = rng.choice(self.num_classes, size=n, p=priors)
+        if out_labels is not None:
+            out_labels[...] = labels
+            labels = out_labels
         means = self.class_means(domain)
-        noise = rng.normal(scale=self.sigma(domain),
-                           size=(n, self.feature_dim))
-        features = means[labels] + noise
-        return features, labels
+        sigma = self.sigma(domain)
+        if out_features is None:
+            out_features = np.empty((n, self.feature_dim))
+        rng.standard_normal(out=out_features)
+        if sigma != 1.0:
+            out_features *= sigma
+        out_features += means[labels]
+        return out_features, labels

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import build_system, run_on_scenario
+from repro.core import SystemCell, run_cells
 from repro.experiments.reporting import (
     ExperimentResult,
     format_series,
@@ -33,13 +33,23 @@ def run_fig10(
     scenario: str = "S5",
     window_s: float = 15.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 10's time series and drift-case zooms.
 
     The paper plots S1 of its dataset; our S1 carries only label drifts, so
     the default is S5 (geometry drifts), which is where the time-series
     structure the figure highlights -- dips and recoveries -- lives.
+    ``jobs > 1`` fans the (pair, system) cells across worker processes with
+    results identical to the serial run.
     """
+    cells = [
+        SystemCell(system_name, pair, scenario, seed, duration_s)
+        for pair in FIG10_PAIRS
+        for system_name in FIG10_SYSTEMS
+    ]
+    results = iter(run_cells(cells, jobs=jobs))
+
     rows = []
     extras: dict = {"series": {}, "scenario": scenario}
     report_parts = [
@@ -51,10 +61,7 @@ def run_fig10(
         times = None
         markers = {}
         for system_name in FIG10_SYSTEMS:
-            system = build_system(system_name, pair, seed=seed)
-            result = run_on_scenario(
-                system, scenario, seed=seed, duration_s=duration_s
-            )
+            result = next(results)
             starts, accs = result.accuracy_series(window_s)
             times = starts
             series[system_name] = accs

@@ -8,37 +8,45 @@ reports +12.7% labeling share on drift) and gains accuracy.
 
 from __future__ import annotations
 
-from repro.core import build_system, run_on_scenario
+from repro.core import SystemCell, run_cells
 from repro.experiments.reporting import ExperimentResult, format_table
 
 __all__ = ["run_fig11"]
 
 FIG11_PAIRS = ("resnet18_wrn50", "vit_b32_b16", "resnet34_wrn101")
 
+_FIG11_SYSTEMS = (
+    ("DC-S", "DaCapo-Spatial"),
+    ("DC-ST", "DaCapo-Spatiotemporal"),
+)
+
 
 def run_fig11(
     duration_s: float = 600.0,
     scenario: str = "S5",
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Reproduce Figure 11's phase-ratio comparison.
 
     The paper collects 3 minutes of S1; we default to a longer slice of a
     geometry-drifting scenario so several full phase cycles (and at least
-    one drift reaction) land inside the measurement.
+    one drift reaction) land inside the measurement.  ``jobs > 1`` fans the
+    (pair, system) cells across worker processes with identical results.
     """
+    cells = [
+        SystemCell(system_name, pair, scenario, seed, duration_s)
+        for pair in FIG11_PAIRS
+        for _, system_name in _FIG11_SYSTEMS
+    ]
+    results = iter(run_cells(cells, jobs=jobs))
+
     rows = []
     for pair in FIG11_PAIRS:
         shares = {}
         accs = {}
-        for label, system_name in (
-            ("DC-S", "DaCapo-Spatial"),
-            ("DC-ST", "DaCapo-Spatiotemporal"),
-        ):
-            system = build_system(system_name, pair, seed=seed)
-            result = run_on_scenario(
-                system, scenario, seed=seed, duration_s=duration_s
-            )
+        for label, system_name in _FIG11_SYSTEMS:
+            result = next(results)
             retrain, label_share = result.retrain_label_ratio()
             shares[label] = (retrain, label_share)
             accs[label] = result.average_accuracy()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.errors import ConfigurationError
@@ -26,7 +27,7 @@ from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = ["EXPERIMENTS", "run_experiment", "supports_jobs"]
 
 #: Every reproducible table/figure, keyed by experiment id.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -50,13 +51,21 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, **kwargs) -> ExperimentResult:
-    """Run an experiment by id with optional overrides."""
+def _get_runner(name: str) -> Callable[..., ExperimentResult]:
     try:
-        runner = EXPERIMENTS[name]
+        return EXPERIMENTS[name]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ConfigurationError(
             f"unknown experiment {name!r}; known: {known}"
         )
-    return runner(**kwargs)
+
+
+def supports_jobs(name: str) -> bool:
+    """Whether an experiment accepts a ``jobs`` worker-count argument."""
+    return "jobs" in inspect.signature(_get_runner(name)).parameters
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run an experiment by id with optional overrides."""
+    return _get_runner(name)(**kwargs)

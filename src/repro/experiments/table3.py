@@ -18,8 +18,14 @@ PAPER_TABLE3: dict[str, tuple[float, float]] = {
 }
 
 
-def run_table3() -> ExperimentResult:
-    """Reproduce Table III from the architectural specs, with paper deltas."""
+def run_table3(jobs: int = 1) -> ExperimentResult:
+    """Reproduce Table III from the architectural specs, with paper deltas.
+
+    ``jobs`` exists for CLI uniformity with the grid experiments and is
+    accepted but unused: the per-model rows are spec lookups, so fanning
+    them over processes pays far more in startup than it saves (results
+    are trivially identical at any worker count).
+    """
     roles = {}
     for pair in MODEL_PAIRS.values():
         roles[pair.student] = "Student"

@@ -12,21 +12,21 @@ migrated) whenever the pretraining numerics change.  Writes are atomic
 (temp file + rename), making concurrent writers race-safe: every writer
 produces byte-identical content, and readers only ever see complete files.
 
-The cache location is ``$REPRO_CACHE_DIR`` when set (an empty value
-disables caching entirely), else ``~/.cache/repro-dacapo``.  All failures
-are soft: a missing, corrupt, or unwritable cache silently falls back to
-recomputation, which yields the exact same weights.
+The cache location comes from :func:`repro.cache.cache_dir`
+(``$REPRO_CACHE_DIR`` when set, an empty value disabling caching entirely,
+else ``~/.cache/repro-dacapo``).  All failures are soft: a missing,
+corrupt, or unwritable cache silently falls back to recomputation, which
+yields the exact same weights.
 """
 
 from __future__ import annotations
 
-import os
-import tempfile
 import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro.cache import CACHE_ENV, cache_dir, write_atomic
 from repro.learn.mlp import MLPClassifier
 from repro.learn.train import TRAINER_VERSION
 
@@ -38,9 +38,6 @@ __all__ = [
     "pretrain_cache_key",
     "store_pretrained",
 ]
-
-#: Environment variable overriding the cache directory ("" disables).
-CACHE_ENV = "REPRO_CACHE_DIR"
 
 #: Layout/key version of the cache files themselves.
 CACHE_VERSION = 1
@@ -62,14 +59,6 @@ def pretrain_cache_key(
     """
     hidden = "x".join(str(h) for h in hidden_sizes)
     return f"{samples}e{epochs}lr{lr}b{batch_size}h{hidden}"
-
-
-def cache_dir() -> Path | None:
-    """The active cache directory, or None when caching is disabled."""
-    root = os.environ.get(CACHE_ENV)
-    if root is not None:
-        return Path(root) if root else None
-    return Path.home() / ".cache" / "repro-dacapo"
 
 
 def _entry_path(
@@ -145,18 +134,6 @@ def store_pretrained(
         arrays[f"b{i}"] = b
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, **arrays)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        write_atomic(path, lambda handle: np.savez(handle, **arrays))
     except OSError:
         return

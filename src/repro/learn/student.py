@@ -15,6 +15,7 @@ import zlib
 
 import numpy as np
 
+from repro import profiling
 from repro.data.attributes import Domain, LabelDistribution
 from repro.data.distributions import DomainModel
 from repro.learn.cache import (
@@ -119,36 +120,39 @@ class StudentModel:
 def _pretrained_mlp(
     model_name: str, geometry_seed: int, seed: int
 ) -> MLPClassifier:
-    cache_key = _pretrain_cache_key(model_name)
-    cached = load_pretrained(
-        "student", model_name, geometry_seed, seed, cache_key
-    )
-    if cached is not None:
-        return cached
-    domain_model = DomainModel(geometry_seed=geometry_seed)
-    config = get_proxy_config(model_name)
-    rng = np.random.default_rng((seed, zlib.crc32(model_name.encode()) & 0xFFFF, 1))
-    base_domain = Domain(labels=LabelDistribution.ALL)
-    x, y = domain_model.sample(base_domain, _PRETRAIN_SAMPLES, rng)
-    mlp = MLPClassifier.create(
-        domain_model.feature_dim,
-        config.hidden_sizes,
-        domain_model.num_classes,
-        rng,
-    )
-    train_sgd(
-        mlp, x, y,
-        TrainConfig(
-            learning_rate=_PRETRAIN_LR,
-            batch_size=_PRETRAIN_BATCH,
-            epochs=_PRETRAIN_EPOCHS,
-        ),
-        rng,
-    )
-    store_pretrained(
-        "student", model_name, geometry_seed, seed, mlp, cache_key
-    )
-    return mlp
+    with profiling.scope(profiling.PRETRAIN):
+        cache_key = _pretrain_cache_key(model_name)
+        cached = load_pretrained(
+            "student", model_name, geometry_seed, seed, cache_key
+        )
+        if cached is not None:
+            return cached
+        domain_model = DomainModel(geometry_seed=geometry_seed)
+        config = get_proxy_config(model_name)
+        rng = np.random.default_rng(
+            (seed, zlib.crc32(model_name.encode()) & 0xFFFF, 1)
+        )
+        base_domain = Domain(labels=LabelDistribution.ALL)
+        x, y = domain_model.sample(base_domain, _PRETRAIN_SAMPLES, rng)
+        mlp = MLPClassifier.create(
+            domain_model.feature_dim,
+            config.hidden_sizes,
+            domain_model.num_classes,
+            rng,
+        )
+        train_sgd(
+            mlp, x, y,
+            TrainConfig(
+                learning_rate=_PRETRAIN_LR,
+                batch_size=_PRETRAIN_BATCH,
+                epochs=_PRETRAIN_EPOCHS,
+            ),
+            rng,
+        )
+        store_pretrained(
+            "student", model_name, geometry_seed, seed, mlp, cache_key
+        )
+        return mlp
 
 
 def make_student(

@@ -1,0 +1,160 @@
+"""Scoped wall-time profiling of the simulation's phase-level hot paths.
+
+The experiment pipeline spends its time in five places -- stream
+materialization, proxy pretraining, teacher labeling, student retraining,
+and per-frame inference scoring.  This module attributes wall time to those
+phases with *exclusive* accounting (a scope opened inside another scope is
+subtracted from its parent), so the per-phase totals never overlap and
+always sum to at most the enclosing wall time.
+
+Profiling is off by default and is a strict no-op on the hot path while
+disabled: :func:`scope` returns one shared null context manager, so no
+object is allocated and nothing is timed.  Enable it around a workload::
+
+    profiler = profiling.enable()
+    run_on_scenario(system, "S5")
+    print(profiler.report())
+    profiling.disable()
+
+The active profiler is per-process.  Worker processes of the parallel grid
+runner do not report back to the parent; profile with ``--jobs 1`` (or
+inside a single worker) for complete coverage.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = [
+    "INFERENCE",
+    "LABEL",
+    "MATERIALIZE",
+    "PRETRAIN",
+    "RETRAIN",
+    "Profiler",
+    "active",
+    "disable",
+    "enable",
+    "scope",
+]
+
+#: Canonical phase names wired into the runner (BENCH JSON keys).
+MATERIALIZE = "materialize"
+PRETRAIN = "pretrain"
+LABEL = "label"
+RETRAIN = "retrain"
+INFERENCE = "inference"
+
+
+class _NullScope:
+    """The do-nothing context manager handed out while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _Scope:
+    """One timed region; exclusive time flows to the profiler on exit."""
+
+    __slots__ = ("profiler", "name", "start", "child_s")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self.profiler = profiler
+        self.name = name
+        self.child_s = 0.0
+
+    def __enter__(self) -> "_Scope":
+        self.profiler._stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self.start
+        stack = self.profiler._stack
+        stack.pop()
+        self.profiler._add(self.name, elapsed - self.child_s)
+        if stack:
+            # The parent reports only its own time: this scope's full span
+            # (including grandchildren, already folded into ``elapsed``)
+            # counts as child time there.
+            stack[-1].child_s += elapsed
+        return False
+
+
+class Profiler:
+    """Accumulates exclusive wall seconds and entry counts per phase."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._stack: list[_Scope] = []
+
+    def _add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def scope(self, name: str) -> _Scope:
+        """A context manager timing ``name`` against this profiler."""
+        return _Scope(self, name)
+
+    def total_s(self) -> float:
+        """Summed exclusive time across all phases."""
+        return sum(self.totals.values())
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-phase ``{"total_s": ..., "count": ...}``, insertion-ordered."""
+        return {
+            name: {"total_s": self.totals[name], "count": self.counts[name]}
+            for name in self.totals
+        }
+
+    def report(self) -> str:
+        """A human-readable breakdown, largest phase first."""
+        total = self.total_s()
+        lines = [f"phase breakdown ({total:.3f} s profiled)"]
+        for name, seconds in sorted(
+            self.totals.items(), key=lambda item: -item[1]
+        ):
+            share = seconds / total if total > 0 else 0.0
+            lines.append(
+                f"  {name:<12s} {seconds:8.3f} s  {share:6.1%}"
+                f"  x{self.counts[name]}"
+            )
+        return "\n".join(lines)
+
+
+_active: Profiler | None = None
+
+
+def enable() -> Profiler:
+    """Install (and return) a fresh process-wide profiler."""
+    global _active
+    _active = Profiler()
+    return _active
+
+
+def disable() -> None:
+    """Stop profiling; subsequent :func:`scope` calls become no-ops."""
+    global _active
+    _active = None
+
+
+def active() -> Profiler | None:
+    """The installed profiler, or None while profiling is off."""
+    return _active
+
+
+def scope(name: str):
+    """Time a region against the active profiler (shared no-op when off)."""
+    profiler = _active
+    if profiler is None:
+        return _NULL_SCOPE
+    return _Scope(profiler, name)

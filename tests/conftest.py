@@ -2,17 +2,19 @@
 
 import pytest
 
-from repro.learn.cache import CACHE_ENV
+from repro.cache import CACHE_ENV
 
 
 @pytest.fixture(scope="session", autouse=True)
-def _isolated_pretrain_cache(tmp_path_factory):
-    """Keep the pretrained-model disk cache inside the test sandbox.
+def _isolated_disk_caches(tmp_path_factory):
+    """Keep the on-disk caches (pretrained models, streams) in the sandbox.
 
-    Without this, every test that builds a student/teacher would read from
-    and write to the user's real ``~/.cache/repro-dacapo``, making test
-    outcomes depend on machine-global state.  Tests exercising the cache
-    itself override the variable again with their own tmp dirs.
+    Without this, every test that builds a student/teacher or materializes
+    a stream would read from and write to the user's real
+    ``~/.cache/repro-dacapo``, making test outcomes depend on
+    machine-global state.  Tests exercising the caches themselves override
+    the variable again with their own tmp dirs (the stream store keys its
+    in-process LRU by cache root, so repointing is race-free).
     """
     mp = pytest.MonkeyPatch()
     mp.setenv(CACHE_ENV, str(tmp_path_factory.mktemp("pretrain-cache")))

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import Fig2Cell, SystemCell, run_cells
-from repro.core.parallel import _run_cell, warm_model_caches
+from repro.core import Fig2Cell, SystemCell, parallel_map, run_cells
+from repro.core.parallel import _run_cell, _shard_cells, warm_model_caches
 from repro.errors import ConfigurationError
 from repro.learn.cache import CACHE_ENV
 
@@ -79,6 +79,66 @@ class TestRunCells:
         cell = SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", 0, DURATION)
         auto = run_cells([cell], jobs=0)
         assert_results_identical(auto[0], _run_cell(cell))
+
+
+class TestSharding:
+    def test_cells_group_by_stream_signature(self):
+        cells = [
+            SystemCell(system, "resnet18_wrn50", scenario, 0, DURATION)
+            for scenario in ("S1", "S4")
+            for system in ("OrinHigh-Ekya", "OrinHigh-EOMU", "DaCapo-Ekya")
+        ]
+        shards = _shard_cells(cells, jobs=2)
+        assert len(shards) == 2  # one per (scenario, seed, duration) stream
+        for shard in shards:
+            signatures = {(cell.scenario, cell.seed) for _, cell in shard}
+            assert len(signatures) == 1
+        # every cell appears exactly once, with its original index
+        indices = sorted(index for shard in shards for index, _ in shard)
+        assert indices == list(range(len(cells)))
+
+    def test_large_shards_split_to_fill_workers(self):
+        cells = [
+            SystemCell(system, "resnet18_wrn50", "S1", 0, DURATION)
+            for system in ("OrinHigh-Ekya", "OrinHigh-EOMU", "DaCapo-Ekya",
+                           "OrinLow-Ekya")
+        ]
+        shards = _shard_cells(cells, jobs=4)
+        assert len(shards) == 4  # split down to singletons
+        shards = _shard_cells(cells, jobs=2)
+        assert len(shards) == 2
+
+    def test_sharded_grid_matches_serial(self):
+        # Multiple systems per stream (the sharing case) plus a second
+        # scenario and seed: parallel results must equal serial, in order.
+        cells = [
+            SystemCell(system, "resnet18_wrn50", scenario, seed, DURATION)
+            for scenario in ("S1", "S4")
+            for seed in (0, 1)
+            for system in ("OrinHigh-Ekya", "DaCapo-Spatiotemporal")
+        ]
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=3)
+        for a, b in zip(serial, parallel):
+            assert_results_identical(a, b)
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_matches_serial_in_order(self):
+        items = list(range(7))
+        assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+        assert parallel_map(_square, items, jobs=3) == [x * x for x in items]
+
+    def test_rejects_negative_jobs(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(_square, [1], jobs=-2)
+
+    def test_jobs_zero_uses_all_cores(self):
+        assert parallel_map(_square, [1, 2], jobs=0) == [1, 4]
 
 
 class TestWarmModelCaches:

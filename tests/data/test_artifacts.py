@@ -1,0 +1,185 @@
+"""Equivalence tests for the shared stream-artifact substrate.
+
+The contract: materializing through the :class:`ArtifactStore` -- whether
+the window comes back freshly generated, from the in-process LRU, or
+memmap-opened from the disk tier, in this process or another -- is
+bit-identical to the raw uncached generator at the same seed, and so are
+the :class:`RunResult`\\ s computed on top.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import CACHE_ENV
+from repro.data import build_scenario, caching_disabled, get_store, stream_key
+from repro.data.artifacts import ArtifactStore
+from repro.errors import ScenarioError
+
+DURATION = 60.0
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(tmp_path, monkeypatch):
+    """Point the disk tier at an empty sandbox for every test."""
+    monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+    yield tmp_path
+
+
+def _stream(name="S4", duration=DURATION):
+    return build_scenario(name, duration_s=duration)
+
+
+def assert_windows_identical(a, b):
+    np.testing.assert_array_equal(np.asarray(a.features), np.asarray(b.features))
+    np.testing.assert_array_equal(np.asarray(a.labels), np.asarray(b.labels))
+    np.testing.assert_array_equal(np.asarray(a.times), np.asarray(b.times))
+    assert a.features.dtype == b.features.dtype
+    assert a.labels.dtype == b.labels.dtype
+
+
+class TestBitIdentity:
+    def test_memmap_matches_inmemory_generation(self):
+        stream = _stream()
+        cached = stream.materialize(seed=3)
+        raw = stream.generate(seed=3)
+        assert isinstance(cached.features, np.memmap)
+        assert not isinstance(raw.features, np.memmap)
+        assert_windows_identical(cached, raw)
+
+    def test_disk_reload_matches(self):
+        stream = _stream()
+        first = stream.materialize(seed=1)
+        get_store().clear()  # force the next lookup through the disk tier
+        second = stream.materialize(seed=1)
+        assert second is not first
+        assert isinstance(second.features, np.memmap)
+        assert_windows_identical(first, second)
+
+    def test_window_slices_are_zero_copy_views(self):
+        frames = _stream().materialize(seed=0)
+        window = frames.window(10.0, 20.0)
+        assert window.features.base is not None
+        assert isinstance(window.features, np.memmap)
+        np.testing.assert_array_equal(
+            np.asarray(window.features),
+            np.asarray(frames.features[len(frames.window(0.0, 10.0)):][:len(window)]),
+        )
+
+    def test_caching_disabled_is_equivalent(self):
+        stream = _stream()
+        cached = stream.materialize(seed=2)
+        with caching_disabled():
+            uncached = stream.materialize(seed=2)
+        assert not isinstance(uncached.features, np.memmap)
+        assert_windows_identical(cached, uncached)
+
+
+class TestStoreMechanics:
+    def test_lru_hit_returns_same_object(self):
+        stream = _stream()
+        store = get_store()
+        first = stream.materialize(seed=0)
+        hits = store.hits
+        second = stream.materialize(seed=0)
+        assert second is first
+        assert store.hits == hits + 1
+
+    def test_disk_entry_layout(self, fresh_cache):
+        stream = _stream()
+        stream.materialize(seed=5)
+        entry = fresh_cache / "streams" / stream_key(stream, 5)
+        for name in ("features.npy", "labels.npy", "times.npy", "meta.json"):
+            assert (entry / name).exists()
+
+    def test_keys_separate_seed_scenario_and_duration(self):
+        s4 = _stream("S4")
+        keys = {
+            stream_key(s4, 0),
+            stream_key(s4, 1),
+            stream_key(_stream("S1"), 0),
+            stream_key(_stream("S4", duration=120.0), 0),
+        }
+        assert len(keys) == 4
+
+    def test_eviction_respects_max_entries(self):
+        store = ArtifactStore(max_entries=2)
+        for seed in range(4):
+            store.get(_stream(), seed=seed)
+        assert len(store) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ScenarioError):
+            ArtifactStore(max_entries=0)
+
+    def test_corrupt_entry_falls_back_to_generation(self, fresh_cache):
+        stream = _stream()
+        reference = stream.generate(seed=0)
+        stream.materialize(seed=0)
+        entry = fresh_cache / "streams" / stream_key(stream, 0)
+        (entry / "labels.npy").write_bytes(b"not an npy file")
+        get_store().clear()
+        recovered = stream.materialize(seed=0)
+        assert_windows_identical(recovered, reference)
+
+    def test_disk_tier_disabled_by_empty_env(self, monkeypatch, fresh_cache):
+        monkeypatch.setenv(CACHE_ENV, "")
+        stream = _stream()
+        window = stream.materialize(seed=0)
+        assert not isinstance(window.features, np.memmap)
+        assert not (fresh_cache / "streams").exists()
+        # the LRU tier still shares within the process
+        assert stream.materialize(seed=0) is window
+
+
+def _worker_probe(args):
+    """Materialize in a worker process; report backing and a checksum."""
+    name, duration, seed = args
+    import hashlib
+
+    window = build_scenario(name, duration_s=duration).materialize(seed)
+    digest = hashlib.sha256(
+        np.ascontiguousarray(window.features).tobytes()
+    ).hexdigest()
+    return isinstance(window.features, np.memmap), digest
+
+
+class TestCrossProcess:
+    def test_workers_hit_the_disk_tier(self):
+        import hashlib
+        from concurrent.futures import ProcessPoolExecutor
+
+        stream = _stream()
+        parent = stream.materialize(seed=7)  # populates the disk entry
+        expected = hashlib.sha256(
+            np.ascontiguousarray(parent.features).tobytes()
+        ).hexdigest()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            outcomes = list(
+                pool.map(_worker_probe, [("S4", DURATION, 7)] * 2)
+            )
+        for is_memmap, digest in outcomes:
+            assert is_memmap  # served from the shared disk entry
+            assert digest == expected
+
+
+class TestRunResultInvariance:
+    def test_cached_and_uncached_runs_are_identical(self):
+        from repro.core import build_system, run_on_scenario
+
+        def run():
+            system = build_system(
+                "DaCapo-Spatiotemporal", "resnet18_wrn50", seed=0
+            )
+            return run_on_scenario(
+                system, "S4", seed=0, duration_s=DURATION
+            )
+
+        cached = run()  # cold: generates + persists
+        warm = run()  # warm: memmap-backed LRU hit
+        with caching_disabled():
+            uncached = run()
+        for other in (warm, uncached):
+            np.testing.assert_array_equal(cached.correct, other.correct)
+            np.testing.assert_array_equal(cached.dropped, other.dropped)
+            assert cached.phases == other.phases
+            assert cached.duration_s == other.duration_s

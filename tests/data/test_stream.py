@@ -114,3 +114,40 @@ class TestFrameWindow:
 
         with pytest.raises(ScenarioError):
             FrameWindow(np.zeros((3, 2)), np.zeros(2), np.zeros(3))
+
+    def test_window_skips_revalidation(self, monkeypatch):
+        from repro.data import FrameWindow
+
+        frames = two_segment_stream().materialize(seed=0)
+        calls = []
+        original = FrameWindow.__post_init__
+        monkeypatch.setattr(
+            FrameWindow,
+            "__post_init__",
+            lambda self: (calls.append(1), original(self))[1],
+        )
+        window = frames.window(0.0, 10.0)
+        sub = frames.subset(np.array([0, 1]))
+        assert calls == []  # hot-path slicing bypasses __post_init__
+        assert len(window) == 300 and len(sub) == 2
+        # ... while the public constructor still validates
+        FrameWindow(np.zeros((2, 3)), np.zeros(2), np.zeros(2))
+        assert calls == [1]
+
+
+class TestCachedScheduleProperties:
+    def test_duration_and_frames_computed_once(self):
+        stream = two_segment_stream()
+        assert "duration_s" not in stream.__dict__
+        assert stream.duration_s == 20.0
+        assert stream.num_frames == 600
+        # functools.cached_property stores on the (frozen) instance
+        assert stream.__dict__["duration_s"] == 20.0
+        assert stream.__dict__["num_frames"] == 600
+        assert stream.duration_s == 20.0
+
+    def test_segment_at_boundary_belongs_to_next_segment(self):
+        stream = two_segment_stream()
+        assert stream.segment_at(0.0).domain.time is TimeOfDay.DAYTIME
+        assert stream.segment_at(10.0).domain.time is TimeOfDay.NIGHT
+        assert stream.segment_at(9.999).domain.time is TimeOfDay.DAYTIME
