@@ -4,9 +4,12 @@ Times the layers the perf work targets -- the MX quantization kernel, the
 SGD training loop, the accelerator timing queries, stream materialization
 (naive vs vectorized vs memmap-open), a shared-stream grid slice vs the
 per-cell-materialization baseline, an end-to-end short Figure 9 cell with
-its phase-level breakdown, and the parallel runner's scaling -- and writes
-everything to ``benchmarks/results/BENCH_perf_hotpaths.json`` so future
-PRs can diff absolute numbers.
+its phase-level breakdown, the parallel runner's scaling, and the
+float64/float32 numeric-policy A/B (stream bytes, training throughput,
+end-to-end cell, subprocess peak RSS) -- and writes everything to
+``benchmarks/results/BENCH_perf_hotpaths.json`` (suffixed with the policy
+name when run under ``REPRO_DTYPE=float32``) so future PRs can diff
+absolute numbers.
 
 ``seed_reference`` holds wall times measured on the unoptimized seed tree
 (commit 8ebcf26) on the reference machine; the end-to-end assertions
@@ -25,6 +28,8 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -33,6 +38,7 @@ import numpy as np
 import repro.learn.student as student_mod
 import repro.learn.teacher as teacher_mod
 from repro import profiling
+from repro.numeric import active_policy, use_policy
 from repro.accelerator import (
     AcceleratorSimulator,
     SystolicArray,
@@ -54,7 +60,16 @@ from repro.models.zoo import get_model
 from repro.mx import MX6, MX9, quantize
 
 RESULTS_DIR = Path(__file__).parent / "results"
-OUTPUT = RESULTS_DIR / "BENCH_perf_hotpaths.json"
+
+
+def _output_path() -> Path:
+    """Per-policy JSON so the float32 CI leg never clobbers the default."""
+    policy = active_policy()
+    suffix = "" if policy.name == "float64" else f"_{policy.name}"
+    return RESULTS_DIR / f"BENCH_perf_hotpaths{suffix}.json"
+
+
+OUTPUT = _output_path()
 
 #: CI smoke mode: fewer repeats, smaller grids, same JSON schema.
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
@@ -185,8 +200,23 @@ def bench_materialize() -> dict:
 
     naive = _naive_materialize(stream, seed)
     vectorized = stream.generate(seed)
-    identical = (
-        np.array_equal(naive.features, vectorized.features)
+    # The naive reference generator always draws float64; under float32
+    # the vectorized stream is those same draws rounded once, so the
+    # comparison is exact at float64 and approximate (post-cast allclose)
+    # at float32 -- the JSON records which mode was used so "matched"
+    # never overstates what was checked.
+    if vectorized.features.dtype == np.float64:
+        comparison = "exact"
+        features_match = np.array_equal(naive.features, vectorized.features)
+    else:
+        comparison = "allclose_1e-5_vs_float64_cast"
+        features_match = np.allclose(
+            vectorized.features,
+            naive.features.astype(vectorized.features.dtype),
+            rtol=1e-5, atol=1e-5,
+        )
+    matches_reference = (
+        features_match
         and np.array_equal(naive.labels, vectorized.labels)
         and np.array_equal(naive.times, vectorized.times)
     )
@@ -211,7 +241,8 @@ def bench_materialize() -> dict:
         "memmap_open_ms": t_memmap_open * 1e3,
         "vectorized_speedup": t_naive / t_vectorized,
         "memmap_backed": is_memmap,
-        "bit_identical": identical,
+        "reference_match": matches_reference,
+        "reference_comparison": comparison,
     }
 
 
@@ -308,6 +339,128 @@ def bench_fig9_cell() -> dict:
     }
 
 
+#: Workload the RSS probe runs in a subprocess (its own address space, so
+#: the accounting is per-policy).  Disk caching is off so the streams stay
+#: resident instead of memmap-backed.  The probe reports the VmRSS *delta*
+#: around materializing a multi-camera set of streams, after a warmed
+#: baseline (imports, system build, a short run): the windows are large
+#: anonymous mmaps, so the delta attributes cleanly, whereas absolute
+#: peak RSS also counts file-backed library pages whose residency swings
+#: with the machine's page-cache state (measured: identical peaks for
+#: both policies on a warm page cache).
+_RSS_PROBE = """
+import gc, os
+from repro.core import build_system, run_on_scenario
+from repro.data import build_scenario
+
+def rss_kib():
+    pages = int(open("/proc/self/statm").read().split()[1])
+    return pages * os.sysconf("SC_PAGE_SIZE") // 1024
+
+system = build_system("DaCapo-Spatiotemporal", "resnet18_wrn50", seed=0)
+run_on_scenario(system, build_scenario("S4", duration_s=60.0), seed=0)
+gc.collect()
+baseline_kib = rss_kib()
+
+streams = [
+    build_scenario(name, duration_s={duration}) for name in ("S1", "S4")
+]
+windows = [stream.materialize(seed) for stream in streams for seed in (0, 1)]
+gc.collect()
+print(rss_kib() - baseline_kib)
+"""
+
+
+def _probe_stream_rss_growth(policy_name: str, duration_s: float) -> int:
+    """Resident-set growth (KiB) of live streams under one policy."""
+    env = dict(os.environ)
+    env["REPRO_DTYPE"] = policy_name
+    env["REPRO_CACHE_DIR"] = ""  # keep streams in RAM, not memmaps
+    out = subprocess.run(
+        [sys.executable, "-c", _RSS_PROBE.format(duration=duration_s)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return int(out.stdout.strip())
+
+
+def bench_dtype_ab() -> dict:
+    """The float64/float32 A/B: bandwidth and throughput, measured.
+
+    Per policy: raw stream generation (wall + resident bytes), the MX9
+    training loop, a warm end-to-end Figure 9 cell, and the subprocess
+    peak-RSS probe.  This is what turns the "float32 halves traffic"
+    claim from an assertion into a recorded measurement.
+    """
+    duration_s = 300.0 if QUICK else CELL["duration_s"]
+    # A wider proxy than the tiny default so the GEMMs (where float32's
+    # SIMD advantage lives) dominate the Python batch loop.
+    rng = np.random.default_rng(1)
+    x64 = rng.normal(size=(1024, 256))
+    y = rng.integers(0, 10, 1024)
+    train_config = TrainConfig(batch_size=64, epochs=2, fmt=MX9)
+
+    report: dict = {}
+    for policy_name in ("float64", "float32"):
+        with use_policy(policy_name):
+            stream = build_scenario(CELL["scenario"], duration_s=duration_s)
+            window = stream.generate(0)
+            stream_bytes = (
+                window.features.nbytes
+                + window.labels.nbytes
+                + window.times.nbytes
+            )
+            t_generate = _best_of(lambda: stream.generate(0))
+
+            x = x64.astype(window.features.dtype)
+
+            def run_train():
+                mlp = MLPClassifier.create(
+                    256, (128,), 10, np.random.default_rng(2)
+                )
+                train_sgd(mlp, x, y, train_config, np.random.default_rng(3))
+
+            t_train = _best_of(run_train, repeats=3)
+
+            _clear_process_caches()
+
+            def cell():
+                system = build_system(CELL["system"], CELL["pair"], seed=0)
+                return run_on_scenario(
+                    system, CELL["scenario"], seed=0, duration_s=duration_s
+                )
+
+            cell()  # warm the per-policy caches
+            t_cell = _best_of(cell, repeats=2)
+
+            report[policy_name] = {
+                "stream_bytes": stream_bytes,
+                "generate_ms": t_generate * 1e3,
+                "train_sgd_samples_per_s": (
+                    train_config.epochs * len(x) / t_train
+                ),
+                "fig9_cell_warm_s": t_cell,
+                "stream_rss_growth_kib": _probe_stream_rss_growth(
+                    policy_name, duration_s
+                ),
+            }
+
+    f64, f32 = report["float64"], report["float32"]
+    report["float32_vs_float64"] = {
+        "stream_bytes_ratio": f64["stream_bytes"] / f32["stream_bytes"],
+        "generate_speedup": f64["generate_ms"] / f32["generate_ms"],
+        "train_step_speedup": (
+            f32["train_sgd_samples_per_s"] / f64["train_sgd_samples_per_s"]
+        ),
+        "fig9_cell_speedup": (
+            f64["fig9_cell_warm_s"] / f32["fig9_cell_warm_s"]
+        ),
+        "peak_rss_reduction_kib": (
+            f64["stream_rss_growth_kib"] - f32["stream_rss_growth_kib"]
+        ),
+    }
+    return report
+
+
 def bench_parallel_scaling() -> dict:
     # Full-length (1200 s) streams: short cells would be dominated by pool
     # startup rather than simulation work.  Several seeds per (system,
@@ -338,6 +491,7 @@ def bench_parallel_scaling() -> dict:
 def test_perf_hotpaths():
     report = {
         "quick_mode": QUICK,
+        "numeric_policy": active_policy().name,
         "seed_reference": SEED_REFERENCE,
         "quantize": bench_quantize(),
         "train_sgd": bench_train_sgd(),
@@ -346,6 +500,7 @@ def test_perf_hotpaths():
         "shared_grid": bench_shared_grid(),
         "fig9_cell": bench_fig9_cell(),
         "parallel": bench_parallel_scaling(),
+        "dtype_ab": bench_dtype_ab(),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
@@ -353,8 +508,9 @@ def test_perf_hotpaths():
     # Invariants asserted in every mode: the phase breakdown is present and
     # non-overlapping (sums under wall), the memoized timing layer answers
     # repeat queries faster than cold, and the vectorized generator plus
-    # the memmap tier are bit-identical to the naive reference (sharing
-    # bit-identity is asserted inside bench_shared_grid itself).
+    # the memmap tier match the naive reference -- bit-exactly at float64,
+    # allclose-after-cast at float32, as recorded in reference_comparison
+    # (sharing bit-identity is asserted inside bench_shared_grid itself).
     assert report["fig9_cell"]["phase_breakdown"], report
     assert report["fig9_cell"]["profiled_share_of_warm"] <= 1.0, report
     assert (
@@ -362,8 +518,14 @@ def test_perf_hotpaths():
         < report["forward_timing"]["cold_s"]
     ), report
     materialize = report["materialize"]
-    assert materialize["bit_identical"], materialize
+    assert materialize["reference_match"], materialize
     assert materialize["memmap_backed"], materialize
+
+    # The dtype A/B must show the structural bandwidth win in every mode:
+    # a float32 stream carries close to half the bytes (features halve;
+    # int64 labels and float64 timestamps are policy-invariant).
+    ab = report["dtype_ab"]["float32_vs_float64"]
+    assert ab["stream_bytes_ratio"] > 1.7, report["dtype_ab"]
 
     if QUICK:
         # CI smoke on shared runners: record the trajectory, skip the
@@ -389,6 +551,19 @@ def test_perf_hotpaths():
     if shared["cores"] >= 2:
         floor = 2.0 if shared["parallel_jobs"] >= 3 else 1.4
         assert shared["parallel_speedup_vs_percell_serial"] >= floor, shared
+    # The float32 fast path must out-run float64 where the arithmetic
+    # dominates (the MX9 training loop) and shrink the peak footprint of
+    # the stream-heavy probe; the end-to-end cell must at least not
+    # regress (it amortizes policy-invariant work like RNG and teacher
+    # labeling bookkeeping).
+    assert ab["train_step_speedup"] > 1.05, report["dtype_ab"]
+    assert ab["peak_rss_reduction_kib"] > 0, report["dtype_ab"]
+    # The end-to-end cell mixes dtype-sensitive GEMMs with policy-
+    # invariant overhead (RNG, scheduling, window bookkeeping), so on a
+    # noisy single-core box only a no-regression floor is assertable;
+    # the measured ratio is recorded above for the trajectory.
+    assert ab["fig9_cell_speedup"] > 0.8, report["dtype_ab"]
+
     # The parallel runner scales near-linearly in the cores it can use.
     # Wall-clock gains need physical cores: on a single-CPU machine only
     # the pool overhead is checkable (the serial==parallel equivalence is

@@ -9,8 +9,13 @@ Subcommands:
 
 ``--profile`` (on ``experiment`` and ``run``) prints a phase-level
 wall-time breakdown (materialize / pretrain / label / retrain / inference)
-after the report; profiling is per-process, so combine it with ``--jobs 1``
-for complete coverage.
+after the report.  It composes with ``--jobs N``: worker shards profile
+themselves and the parent merges their snapshots, so the totals are CPU
+seconds across every process.
+
+The numeric policy comes from ``REPRO_DTYPE`` (default ``float64``;
+``float32`` opts into the single-precision fast path with its own frozen
+reference digests -- see README "Numeric policy").
 """
 
 from __future__ import annotations
@@ -107,8 +112,8 @@ def main(argv: list[str] | None = None) -> int:
                             "worker count)")
     p_exp.add_argument("--profile", action="store_true",
                        help="print a phase-level wall-time breakdown "
-                            "(per-process; pair with --jobs 1 for "
-                            "complete coverage)")
+                            "(aggregates worker processes when combined "
+                            "with --jobs)")
 
     p_run = sub.add_parser("run", help="run one system on one scenario")
     p_run.add_argument("system", choices=list(SYSTEM_BUILDERS))

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.mx import MXFormat, quantize
+from repro.numeric import ensure_float
 
 __all__ = ["DPE_LANES", "cycles_per_dot", "DotProductEngine"]
 
@@ -73,9 +74,14 @@ class DotProductEngine:
         fmt_a: MXFormat,
         fmt_b: MXFormat | None = None,
     ) -> float:
-        """Functional dot product of one operand block pair."""
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        """Functional dot product of one operand block pair.
+
+        Accepts either policy dtype without upcasting: a float32 operand
+        pair is quantized and accumulated at single precision, exactly as
+        the FP32 generator hardware would.
+        """
+        a = ensure_float(a)
+        b = ensure_float(b)
         if a.shape != (self.lanes,) or b.shape != (self.lanes,):
             raise ConfigurationError(
                 f"DPE operands must be vectors of {self.lanes} values"

@@ -25,6 +25,12 @@ Model pretraining is the per-process fixed cost; before forking, the parent
 warms the in-process (and on-disk, see :mod:`repro.learn.cache`) pretrained
 model caches for every distinct (pair, seed) in the grid, so workers
 inherit warm caches instead of each re-running seconds of SGD.
+
+Two pieces of parent context are threaded into every shard explicitly:
+the active :class:`~repro.numeric.NumericPolicy` (contextvar overrides do
+not survive spawn-started workers) and whether profiling is on -- workers
+then profile their own phases and ship the snapshot back for the parent
+to merge, so ``--profile`` composes with ``--jobs > 1``.
 """
 
 from __future__ import annotations
@@ -34,12 +40,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro import profiling
 from repro.core.results import RunResult
 from repro.core.runner import build_fig2_system, build_system, run_on_scenario
 from repro.errors import ConfigurationError
 from repro.learn.student import make_student
 from repro.learn.teacher import make_teacher
 from repro.models.zoo import get_pair
+from repro.numeric import active_policy, use_policy
 
 __all__ = [
     "Fig2Cell",
@@ -108,13 +116,32 @@ def _run_cell(cell) -> RunResult:
     )
 
 
-def _run_shard(cells: tuple) -> list[RunResult]:
+def _run_shard(
+    payload: tuple,
+) -> tuple[list[RunResult], dict | None]:
     """Execute one shard of stream-sharing cells, in order.
 
+    ``payload`` is ``(cells, policy_name, profile)``.  The numeric policy
+    is re-installed explicitly in the worker -- a ``use_policy`` override
+    in the parent is a contextvar and would not survive a spawn-started
+    worker -- so shard results are policy-correct at any worker count.
+
     The first cell materializes (or memmap-opens) the shard's stream; the
-    rest hit the artifact store's in-process LRU.
+    rest hit the artifact store's in-process LRU.  When ``profile`` is
+    set, the shard runs under its own profiler and returns the snapshot
+    alongside the results so the parent can aggregate worker phase times
+    (``--profile`` composing with ``--jobs > 1``).
     """
-    return [_run_cell(cell) for cell in cells]
+    cells, policy_name, profile = payload
+    with use_policy(policy_name):
+        if not profile:
+            return [_run_cell(cell) for cell in cells], None
+        profiler = profiling.enable()
+        try:
+            results = [_run_cell(cell) for cell in cells]
+            return results, profiler.snapshot()
+        finally:
+            profiling.disable()
 
 
 def _stream_signature(cell) -> tuple:
@@ -212,16 +239,37 @@ def run_cells(
 
     warm_model_caches(cells)
     shards = _shard_cells(cells, jobs)
-    payloads = [tuple(cell for _, cell in shard) for shard in shards]
+    policy_name = active_policy().name
+    profiler = profiling.active()
+    payloads = [
+        (
+            tuple(cell for _, cell in shard),
+            policy_name,
+            profiler is not None,
+        )
+        for shard in shards
+    ]
     workers = min(jobs, len(shards))
     results: list[RunResult | None] = [None] * len(cells)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for shard, outputs in zip(
+        for shard, (outputs, snapshot) in zip(
             shards, pool.map(_run_shard, payloads, chunksize=1)
         ):
             for (index, _), result in zip(shard, outputs):
                 results[index] = result
+            if profiler is not None and snapshot:
+                # Worker phase seconds fold into the parent profile, so
+                # --profile composes with --jobs > 1 (totals become CPU
+                # seconds across processes).
+                profiler.merge(snapshot)
     return results
+
+
+def _policy_call(payload: tuple) -> object:
+    """Run one mapped call under the parent's numeric policy (worker side)."""
+    policy_name, fn, item = payload
+    with use_policy(policy_name):
+        return fn(item)
 
 
 def parallel_map(
@@ -234,8 +282,11 @@ def parallel_map(
         items: Inputs, in the order results should come back.
         jobs: Worker processes; 1 maps in-process, 0 means "all cores".
 
-    Lightweight experiments (Table II/III rows) fan out through this rather
-    than hand-rolling executors; results are identical at any jobs count.
+    Lightweight experiments (Table II/III rows, the ablation sweeps) fan
+    out through this rather than hand-rolling executors; results are
+    identical at any jobs count.  The parent's active numeric policy is
+    re-installed around every mapped call, so policy overrides survive
+    into spawn-started workers exactly as they do for ``run_cells``.
     """
     if jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
@@ -244,5 +295,7 @@ def parallel_map(
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    policy_name = active_policy().name
+    payloads = [(policy_name, fn, item) for item in items]
     with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items, chunksize=1))
+        return list(pool.map(_policy_call, payloads, chunksize=1))

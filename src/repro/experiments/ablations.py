@@ -8,6 +8,12 @@
   MX6-infer.
 - **Nldd multiplier** (section VI-B): the paper empirically picks
   ``Nldd = 4 * Nl``; sweep the multiplier.
+
+Every ablation fans its independent rows through the shared grid
+infrastructure -- :func:`~repro.core.parallel.run_cells` for full system
+runs, :func:`~repro.core.parallel.parallel_map` for the cheaper spec
+sweeps -- so ``--jobs`` composes uniformly and results are identical at
+any worker count.
 """
 
 from __future__ import annotations
@@ -17,12 +23,15 @@ import numpy as np
 from repro.core import (
     DaCapoConfig,
     PerformanceEstimator,
+    SystemCell,
     build_system,
+    parallel_map,
+    run_cells,
     run_on_scenario,
 )
 from repro.experiments.reporting import ExperimentResult, format_table
 from repro.models import get_pair
-from repro.mx import FORMATS, quantization_report
+from repro.mx import FORMATS, sqnr
 from repro.platform import build_dacapo_platform
 
 __all__ = [
@@ -39,16 +48,17 @@ def run_ablation_partitioning(
     scenario: str = "S5",
     pair: str = "resnet18_wrn50",
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Isolate the benefit of spatial partitioning and the temporal policy."""
+    systems = ("DaCapo-Ekya", "DaCapo-Spatial", "DaCapo-Spatiotemporal")
+    cells = [
+        SystemCell(system_name, pair, scenario, seed, duration_s)
+        for system_name in systems
+    ]
+    results = run_cells(cells, jobs=jobs)
     rows = []
-    for system_name in (
-        "DaCapo-Ekya", "DaCapo-Spatial", "DaCapo-Spatiotemporal"
-    ):
-        system = build_system(system_name, pair, seed=seed)
-        result = run_on_scenario(
-            system, scenario, seed=seed, duration_s=duration_s
-        )
+    for system_name, result in zip(systems, results):
         retrain, label = result.retrain_label_ratio()
         rows.append(
             {
@@ -72,32 +82,49 @@ def run_ablation_partitioning(
     )
 
 
-def run_ablation_precision(
-    pair_name: str = "resnet18_wrn50", seed: int = 0
-) -> ExperimentResult:
-    """Kernel rates and numeric quality per MX precision (workflow step 2)."""
+def _precision_row(args: tuple[str, str, int]) -> dict:
+    """One precision-ablation row (module-level so it maps across processes).
+
+    Each row does only its own format's work -- one configured platform,
+    one set of rate queries, one SQNR measurement -- so the serial path
+    costs the same as the pre-parallel loop and workers never duplicate
+    the other formats' graph walks.
+    """
+    from dataclasses import replace
+
+    fmt_name, pair_name, seed = args
+    fmt = next(f for f in FORMATS if f.name == fmt_name)
     pair = get_pair(pair_name)
-    platform = build_dacapo_platform(rows_tsa=13)
-    estimator = PerformanceEstimator(platform, pair)
-    rate_report = estimator.precision_report()
+    platform = replace(
+        build_dacapo_platform(rows_tsa=13),
+        inference_fmt=fmt,
+        labeling_fmt=fmt,
+        training_fmt=fmt,
+    )
+    rates = PerformanceEstimator(platform, pair).rates()
 
     rng = np.random.default_rng(seed)
     tensor = rng.normal(size=4096)
-    quality = quantization_report(tensor)
 
-    rows = []
-    for fmt in FORMATS:
-        rates = rate_report[fmt.name]
-        rows.append(
-            {
-                "format": fmt.name,
-                "bits_per_value": fmt.bits_per_value,
-                "inference_fps": rates.inference_fps,
-                "labeling_sps": rates.labeling_sps,
-                "training_sps": rates.training_sps,
-                "sqnr_db": quality[fmt.name]["sqnr_db"],
-            }
-        )
+    return {
+        "format": fmt.name,
+        "bits_per_value": fmt.bits_per_value,
+        "inference_fps": rates.inference_fps,
+        "labeling_sps": rates.labeling_sps,
+        "training_sps": rates.training_sps,
+        "sqnr_db": sqnr(tensor, fmt),
+    }
+
+
+def run_ablation_precision(
+    pair_name: str = "resnet18_wrn50", seed: int = 0, jobs: int = 1
+) -> ExperimentResult:
+    """Kernel rates and numeric quality per MX precision (workflow step 2)."""
+    rows = parallel_map(
+        _precision_row,
+        [(fmt.name, pair_name, seed) for fmt in FORMATS],
+        jobs=jobs,
+    )
     report = (
         f"Ablation: MX precision tradeoff ({pair_name})\n"
         + format_table(rows, floatfmt=".2f")
@@ -112,40 +139,41 @@ def run_ablation_precision(
     )
 
 
+def _dataflow_row(args: tuple[str, str, int]) -> dict:
+    """One dataflow-comparison row (module-level for process mapping)."""
+    from repro.accelerator import AcceleratorSimulator, SystolicArray
+    from repro.mx import MX6, MX9
+
+    dataflow, pair_name, rows_tsa = args
+    pair = get_pair(pair_name)
+    student = pair.student_graph()
+    teacher = pair.teacher_graph()
+    tsa, bsa = SystolicArray().split(rows_tsa)
+    sim = AcceleratorSimulator(dataflow=dataflow)
+    return {
+        "dataflow": dataflow,
+        "inference_fps": sim.inference_throughput(student, MX6, bsa, batch=1),
+        "labeling_sps": sim.inference_throughput(teacher, MX6, tsa, batch=8),
+        "training_sps": sim.training_throughput(student, MX9, tsa, batch=16),
+    }
+
+
 def run_ablation_dataflow(
-    pair_name: str = "resnet18_wrn50", rows_tsa: int = 13
+    pair_name: str = "resnet18_wrn50", rows_tsa: int = 13, jobs: int = 1
 ) -> ExperimentResult:
     """Output-stationary vs weight-stationary kernel rates (section V-A).
 
     The paper's RTL employs the output-stationary design; this ablation
     quantifies what the choice costs/earns per kernel on the prototype.
     """
-    from repro.accelerator import AcceleratorSimulator, SystolicArray
-    from repro.mx import MX6, MX9
-
-    pair = get_pair(pair_name)
-    student = pair.student_graph()
-    teacher = pair.teacher_graph()
-    array = SystolicArray()
-    tsa, bsa = array.split(rows_tsa)
-
-    rows = []
-    for dataflow in ("output_stationary", "weight_stationary"):
-        sim = AcceleratorSimulator(dataflow=dataflow)
-        rows.append(
-            {
-                "dataflow": dataflow,
-                "inference_fps": sim.inference_throughput(
-                    student, MX6, bsa, batch=1
-                ),
-                "labeling_sps": sim.inference_throughput(
-                    teacher, MX6, tsa, batch=8
-                ),
-                "training_sps": sim.training_throughput(
-                    student, MX9, tsa, batch=16
-                ),
-            }
-        )
+    rows = parallel_map(
+        _dataflow_row,
+        [
+            (dataflow, pair_name, rows_tsa)
+            for dataflow in ("output_stationary", "weight_stationary")
+        ],
+        jobs=jobs,
+    )
     report = (
         f"Ablation: dataflow comparison ({pair_name}, "
         f"T-SA {rows_tsa} rows)\n"
@@ -160,49 +188,50 @@ def run_ablation_dataflow(
     )
 
 
-def run_ablation_scaling(
-    pair_name: str = "resnet18_wrn50",
-) -> ExperimentResult:
-    """Array scaling study (section VII-A's 32x32 / chiplet remark)."""
+def _scaling_row(args: tuple[str, int, int, str]) -> dict:
+    """One array-scaling row (module-level for process mapping)."""
     from repro.accelerator import (
         AcceleratorSimulator,
-        ChipletPackage,
         scaled_array,
         scaled_power_model,
     )
     from repro.mx import MX6, MX9
 
+    label, rows_count, cols, pair_name = args
     pair = get_pair(pair_name)
     student = pair.student_graph()
     teacher = pair.teacher_graph()
     sim = AcceleratorSimulator()
+    array = scaled_array(rows_count, cols)
+    power = scaled_power_model(rows_count, cols)
+    full = array.full()
+    return {
+        "config": label,
+        "dpes": array.num_dpes,
+        "power_w": power.total_power_w,
+        "area_mm2": power.total_area_mm2,
+        "inference_fps": sim.inference_throughput(student, MX6, full, batch=1),
+        "labeling_sps": sim.inference_throughput(teacher, MX6, full, batch=8),
+        "training_sps": sim.training_throughput(student, MX9, full, batch=16),
+    }
 
-    rows = []
-    for label, rows_count, cols in (
+
+def run_ablation_scaling(
+    pair_name: str = "resnet18_wrn50", jobs: int = 1
+) -> ExperimentResult:
+    """Array scaling study (section VII-A's 32x32 / chiplet remark)."""
+    from repro.accelerator import ChipletPackage
+
+    configs = (
         ("16x16 (prototype)", 16, 16),
         ("32x32", 32, 32),
         ("64x64", 64, 64),
-    ):
-        array = scaled_array(rows_count, cols)
-        power = scaled_power_model(rows_count, cols)
-        full = array.full()
-        rows.append(
-            {
-                "config": label,
-                "dpes": array.num_dpes,
-                "power_w": power.total_power_w,
-                "area_mm2": power.total_area_mm2,
-                "inference_fps": sim.inference_throughput(
-                    student, MX6, full, batch=1
-                ),
-                "labeling_sps": sim.inference_throughput(
-                    teacher, MX6, full, batch=8
-                ),
-                "training_sps": sim.training_throughput(
-                    student, MX9, full, batch=16
-                ),
-            }
-        )
+    )
+    rows = parallel_map(
+        _scaling_row,
+        [(label, r, c, pair_name) for label, r, c in configs],
+        jobs=jobs,
+    )
     for chips in (2, 4):
         package = ChipletPackage(chips=chips)
         base = rows[0]
@@ -230,31 +259,45 @@ def run_ablation_scaling(
     )
 
 
+def _nldd_row(args: tuple[int, str, str, float, int]) -> dict:
+    """One Nldd-sweep row (module-level for process mapping)."""
+    multiplier, pair, scenario, duration_s, seed = args
+    config = DaCapoConfig(drift_label_multiplier=multiplier)
+    system = build_system(
+        "DaCapo-Spatiotemporal", pair, config=config, seed=seed
+    )
+    result = run_on_scenario(
+        system, scenario, seed=seed, duration_s=duration_s
+    )
+    return {
+        "nldd_multiplier": multiplier,
+        "accuracy": result.average_accuracy(),
+        "drifts_detected": len(result.drift_detections()),
+        "label_share": result.retrain_label_ratio()[1],
+    }
+
+
 def run_ablation_nldd(
     duration_s: float = 600.0,
     scenario: str = "S5",
     pair: str = "resnet18_wrn50",
     multipliers: tuple[int, ...] = (1, 2, 4, 8),
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Sweep the drift-labeling multiplier around the paper's choice of 4."""
-    rows = []
-    for multiplier in multipliers:
-        config = DaCapoConfig(drift_label_multiplier=multiplier)
-        system = build_system(
-            "DaCapo-Spatiotemporal", pair, config=config, seed=seed
-        )
-        result = run_on_scenario(
-            system, scenario, seed=seed, duration_s=duration_s
-        )
-        rows.append(
-            {
-                "nldd_multiplier": multiplier,
-                "accuracy": result.average_accuracy(),
-                "drifts_detected": len(result.drift_detections()),
-                "label_share": result.retrain_label_ratio()[1],
-            }
-        )
+    """Sweep the drift-labeling multiplier around the paper's choice of 4.
+
+    Each multiplier is a full system run with its own config (which
+    :class:`~repro.core.parallel.SystemCell` cannot express), so the sweep
+    rides :func:`~repro.core.parallel.parallel_map` rather than
+    ``run_cells``; the shared stream still comes from the artifact store's
+    disk tier in every worker.
+    """
+    rows = parallel_map(
+        _nldd_row,
+        [(m, pair, scenario, duration_s, seed) for m in multipliers],
+        jobs=jobs,
+    )
     report = (
         f"Ablation: Nldd multiplier sweep ({pair}, {scenario}, "
         f"{duration_s:.0f} s; paper uses 4)\n"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import build_system, run_on_scenario
+from repro.core import SystemCell, run_cells
 from repro.experiments.reporting import (
     ExperimentResult,
     format_series,
@@ -25,27 +25,39 @@ FIG12_SYSTEMS = {
     "DaCapo": "DaCapo-Spatiotemporal",
 }
 
+FIG12_SCENARIOS = ("ES1", "ES2")
+
 
 def run_fig12(
     duration_s: float = 1200.0,
     pair: str = "resnet18_wrn50",
     window_s: float = 15.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Reproduce Figure 12: averaged accuracy + time series on ES1/ES2."""
+    """Reproduce Figure 12: averaged accuracy + time series on ES1/ES2.
+
+    The (scenario, system) cells run on the sharded grid runner;
+    ``jobs > 1`` fans them across worker processes with results identical
+    to the serial run at any worker count.
+    """
+    cells = [
+        SystemCell(system_name, pair, scenario, seed, duration_s)
+        for scenario in FIG12_SCENARIOS
+        for system_name in FIG12_SYSTEMS.values()
+    ]
+    results = iter(run_cells(cells, jobs=jobs))
+
     rows = []
     extras: dict = {"series": {}}
     report_parts = [
         f"Figure 12: extreme scenarios, pair {pair} ({duration_s:.0f} s)\n"
     ]
-    for scenario in ("ES1", "ES2"):
+    for scenario in FIG12_SCENARIOS:
         series: dict[str, np.ndarray] = {}
         times = None
-        for label, system_name in FIG12_SYSTEMS.items():
-            system = build_system(system_name, pair, seed=seed)
-            result = run_on_scenario(
-                system, scenario, seed=seed, duration_s=duration_s
-            )
+        for label in FIG12_SYSTEMS:
+            result = next(results)
             starts, accs = result.accuracy_series(window_s)
             times = starts
             series[label] = accs

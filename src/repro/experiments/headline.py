@@ -25,9 +25,15 @@ def run_headline(
     duration_s: float = 1200.0,
     pairs: tuple[str, ...] = FIG9_PAIRS,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Measure the headline accuracy gains and power ratios."""
-    fig9 = run_fig9(duration_s=duration_s, pairs=pairs, seed=seed)
+    """Measure the headline accuracy gains and power ratios.
+
+    The underlying Figure 9 grid runs on the sharded runner; ``jobs > 1``
+    fans its cells across worker processes (identical results at any
+    worker count).
+    """
+    fig9 = run_fig9(duration_s=duration_s, pairs=pairs, seed=seed, jobs=jobs)
     accuracy = fig9.extras["accuracy"]
 
     def overall(system: str) -> float:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.core import parallel_map
 from repro.experiments.reporting import ExperimentResult, format_table
 from repro.models import MODEL_PAIRS, get_model
 
@@ -18,32 +19,33 @@ PAPER_TABLE3: dict[str, tuple[float, float]] = {
 }
 
 
-def run_table3(jobs: int = 1) -> ExperimentResult:
-    """Reproduce Table III from the architectural specs, with paper deltas.
-
-    ``jobs`` exists for CLI uniformity with the grid experiments and is
-    accepted but unused: the per-model rows are spec lookups, so fanning
-    them over processes pays far more in startup than it saves (results
-    are trivially identical at any worker count).
-    """
+def _model_row(name: str) -> dict:
+    """One Table III row (module-level so it maps across processes)."""
     roles = {}
     for pair in MODEL_PAIRS.values():
         roles[pair.student] = "Student"
         roles[pair.teacher] = "Teacher"
+    paper_params, paper_gflops = PAPER_TABLE3[name]
+    model = get_model(name)
+    return {
+        "type": roles[name],
+        "name": name,
+        "params_M": model.params / 1e6,
+        "paper_params_M": paper_params,
+        "gflops": model.gflops,
+        "paper_gflops": paper_gflops,
+    }
 
-    rows = []
-    for name, (paper_params, paper_gflops) in PAPER_TABLE3.items():
-        model = get_model(name)
-        rows.append(
-            {
-                "type": roles[name],
-                "name": name,
-                "params_M": model.params / 1e6,
-                "paper_params_M": paper_params,
-                "gflops": model.gflops,
-                "paper_gflops": paper_gflops,
-            }
-        )
+
+def run_table3(jobs: int = 1) -> ExperimentResult:
+    """Reproduce Table III from the architectural specs, with paper deltas.
+
+    ``jobs > 1`` genuinely shards the per-model rows over worker processes
+    via :func:`~repro.core.parallel.parallel_map` (results identical at
+    any worker count).  The rows are spec lookups, so this is about CLI
+    uniformity *and* exercising the same fan-out path as the grids.
+    """
+    rows = parallel_map(_model_row, list(PAPER_TABLE3), jobs=jobs)
     report = (
         "Table III: evaluated DNN models (measured vs paper)\n"
         + format_table(rows, floatfmt=".2f")

@@ -6,9 +6,11 @@ every worker process of the parallel experiment runner would otherwise pay
 again.  This module persists the trained parameters as ``.npz`` files so a
 pretraining is computed once per machine instead of once per process.
 
-Cache keys include :data:`repro.learn.train.TRAINER_VERSION` and this
-module's :data:`CACHE_VERSION`, so stale entries are ignored (never
-migrated) whenever the pretraining numerics change.  Writes are atomic
+Cache keys include :data:`repro.learn.train.TRAINER_VERSION`, this
+module's :data:`CACHE_VERSION`, and the active numeric policy's digest
+namespace (float32 and float64 pretrained weights are distinct entries),
+so stale entries are ignored (never migrated) whenever the pretraining
+numerics change.  Writes are atomic
 (temp file + rename), making concurrent writers race-safe: every writer
 produces byte-identical content, and readers only ever see complete files.
 
@@ -29,6 +31,7 @@ import numpy as np
 from repro.cache import CACHE_ENV, cache_dir, write_atomic
 from repro.learn.mlp import MLPClassifier
 from repro.learn.train import TRAINER_VERSION
+from repro.numeric import active_policy
 
 __all__ = [
     "CACHE_ENV",
@@ -39,8 +42,10 @@ __all__ = [
     "store_pretrained",
 ]
 
-#: Layout/key version of the cache files themselves.
-CACHE_VERSION = 1
+#: Layout/key version of the cache files themselves.  v2: the numeric
+#: policy's digest namespace entered the entry name, so float32 and
+#: float64 pretrained weights are distinct entries that can never collide.
+CACHE_VERSION = 2
 
 
 def pretrain_cache_key(
@@ -74,9 +79,11 @@ def _entry_path(
     safe_key = "".join(
         c if c.isalnum() or c in "._-" else "_" for c in pretrain_key
     )
+    policy = active_policy()
     name = (
         f"{role}-{model_name}-g{geometry_seed}-s{seed}"
-        f"-v{CACHE_VERSION}-t{TRAINER_VERSION}-p{safe_key}.npz"
+        f"-v{CACHE_VERSION}-t{TRAINER_VERSION}"
+        f"-{policy.digest_namespace}-p{safe_key}.npz"
     )
     return base / name
 
@@ -98,15 +105,16 @@ def load_pretrained(
     path = _entry_path(role, model_name, geometry_seed, seed, pretrain_key)
     if path is None:
         return None
+    dtype = active_policy().dtype
     try:
         with np.load(path) as data:
             num_layers = int(data["num_layers"])
             weights = [
-                np.ascontiguousarray(data[f"w{i}"], dtype=np.float64)
+                np.ascontiguousarray(data[f"w{i}"], dtype=dtype)
                 for i in range(num_layers)
             ]
             biases = [
-                np.ascontiguousarray(data[f"b{i}"], dtype=np.float64)
+                np.ascontiguousarray(data[f"b{i}"], dtype=dtype)
                 for i in range(num_layers)
             ]
     except (OSError, KeyError, ValueError, zipfile.BadZipFile):

@@ -27,9 +27,11 @@ def mx_forward(
     """Forward pass computed with MX GEMMs (the DPE functional path).
 
     Activations are blocked along the feature axis and weights along the
-    contraction axis, matching the accelerator's operand layout.
+    contraction axis, matching the accelerator's operand layout.  The
+    batch is cast to the model's own dtype, so the reference path runs at
+    the same precision as the fast path it is compared against.
     """
-    h = np.asarray(x, dtype=np.float64)
+    h = np.asarray(x, dtype=model.dtype)
     if h.ndim != 2:
         raise ConfigurationError("mx_forward expects a 2-D batch")
     for i, (w, b) in enumerate(zip(model.weights, model.biases)):

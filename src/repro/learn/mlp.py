@@ -29,6 +29,7 @@ from repro.learn.ops import (
 )
 from repro.learn.quantized import effective_quantize
 from repro.mx import MXFormat
+from repro.numeric import active_policy
 
 __all__ = ["MLPClassifier"]
 
@@ -58,15 +59,36 @@ class MLPClassifier:
         num_classes: int,
         rng: np.random.Generator,
     ) -> "MLPClassifier":
-        """He-initialized network ``input -> hidden... -> classes``."""
+        """He-initialized network ``input -> hidden... -> classes``.
+
+        Parameters are allocated in the active
+        :class:`~repro.numeric.NumericPolicy` dtype; the He draws consume
+        the same float64 random stream under every policy and are cast
+        once, so float32 initial weights are exactly the rounded float64
+        ones.
+        """
         if input_dim < 1 or num_classes < 2:
             raise ConfigurationError("invalid MLP dimensions")
+        dtype = active_policy().dtype
         dims = (input_dim, *hidden_sizes, num_classes)
         weights = [
-            he_init(dims[i], dims[i + 1], rng) for i in range(len(dims) - 1)
+            he_init(dims[i], dims[i + 1], rng, dtype=dtype)
+            for i in range(len(dims) - 1)
         ]
-        biases = [np.zeros(dims[i + 1]) for i in range(len(dims) - 1)]
+        biases = [
+            np.zeros(dims[i + 1], dtype=dtype) for i in range(len(dims) - 1)
+        ]
         return cls(weights=weights, biases=biases)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype parameters and activations are carried in.
+
+        Fixed at construction from the then-active numeric policy; inputs
+        are cast to it on entry, so a model keeps computing at its own
+        precision even if the ambient policy later changes.
+        """
+        return self.weights[0].dtype
 
     @property
     def num_classes(self) -> int:
@@ -109,7 +131,7 @@ class MLPClassifier:
         to every layer's input activations, which is where the hardware
         applies it.
         """
-        h = np.asarray(x, dtype=np.float64)
+        h = np.asarray(x, dtype=self.dtype)
         if h.ndim != 2:
             raise ConfigurationError("forward expects a 2-D batch")
         for i, b in enumerate(self.biases):
@@ -157,7 +179,7 @@ class MLPClassifier:
         """
         if lr <= 0:
             raise ConfigurationError("learning rate must be positive")
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         y = np.asarray(y)
         if len(x) == 0:
             raise ConfigurationError("cannot train on an empty batch")
@@ -211,3 +233,15 @@ class MLPClassifier:
         """Independent copy of this model."""
         weights, biases = self.snapshot()
         return MLPClassifier(weights=weights, biases=biases)
+
+    def astype(self, dtype: np.dtype) -> "MLPClassifier":
+        """A copy carrying its parameters in ``dtype``.
+
+        How pretrained float64 weights get deployed under the float32
+        policy: one rounding at the precision boundary, exactly like
+        quantizing a cloud-trained model for the edge.
+        """
+        return MLPClassifier(
+            weights=[w.astype(dtype) for w in self.weights],
+            biases=[b.astype(dtype) for b in self.biases],
+        )

@@ -22,13 +22,24 @@ __all__ = [
 
 
 def he_init(
-    fan_in: int, fan_out: int, rng: np.random.Generator
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+    dtype: np.dtype | None = None,
 ) -> np.ndarray:
-    """He-normal weight initialization for ReLU networks."""
+    """He-normal weight initialization for ReLU networks.
+
+    The draw always consumes the float64 random stream (so the drawn
+    values -- before rounding -- are identical under every numeric policy)
+    and is then cast to ``dtype`` when one is given.
+    """
     if fan_in < 1 or fan_out < 1:
         raise ConfigurationError("fan_in and fan_out must be >= 1")
     scale = np.sqrt(2.0 / fan_in)
-    return rng.normal(scale=scale, size=(fan_in, fan_out))
+    weights = rng.normal(scale=scale, size=(fan_in, fan_out))
+    if dtype is not None:
+        weights = weights.astype(dtype, copy=False)
+    return weights
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -49,14 +60,22 @@ def softmax(logits: np.ndarray) -> np.ndarray:
 
 
 def cross_entropy_loss(logits: np.ndarray, labels: np.ndarray) -> float:
-    """Mean cross-entropy of integer ``labels`` under ``logits``."""
+    """Mean cross-entropy of integer ``labels`` under ``logits``.
+
+    The softmax/log run in the logits' dtype; the final mean accumulates
+    in float64 under every policy (a float32 sum over thousands of batch
+    losses would drift past test tolerances).  The 1e-12 clip floor is
+    exactly representable in float32, so it is policy-invariant.
+    """
     if len(logits) != len(labels):
         raise ConfigurationError("logits and labels must align")
     if len(labels) == 0:
         raise ConfigurationError("cannot compute loss of an empty batch")
     probs = softmax(logits)
     picked = probs[np.arange(len(labels)), labels]
-    return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+    return float(
+        -np.mean(np.log(np.clip(picked, 1e-12, None)), dtype=np.float64)
+    )
 
 
 def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:

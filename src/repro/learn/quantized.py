@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.mx import MXFormat, quantize
+from repro.numeric import ensure_float
 
 __all__ = ["effective_quantize"]
 
@@ -29,6 +30,11 @@ def effective_quantize(
 ) -> np.ndarray:
     """Apply sensitivity-scaled MX quantization error to ``x``.
 
+    Dtype-polymorphic: a float32 tensor is quantized entirely at single
+    precision (the MX kernel preserves the operand dtype), a float64 one
+    exactly as before -- no silent upcasts on this, the hottest path of an
+    end-to-end run.
+
     Args:
         x: Tensor to quantize.
         fmt: MX format; ``None`` returns ``x`` unchanged (FP32 execution).
@@ -36,10 +42,10 @@ def effective_quantize(
         axis: Blocking axis.
     """
     if fmt is None:
-        return np.asarray(x, dtype=np.float64)
+        return ensure_float(x)
     if sensitivity < 0:
         raise ConfigurationError("sensitivity must be non-negative")
-    x = np.asarray(x, dtype=np.float64)
+    x = ensure_float(x)
     # Computed as x + sensitivity * (quantize(x) - x), accumulated in place
     # on the freshly allocated quantized array (this is the hottest function
     # in an end-to-end run; every temporary counts).

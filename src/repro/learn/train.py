@@ -56,8 +56,14 @@ def train_sgd(
     config: TrainConfig,
     rng: np.random.Generator,
 ) -> list[float]:
-    """Train ``model`` in place; returns per-epoch mean losses."""
-    x = np.asarray(x, dtype=np.float64)
+    """Train ``model`` in place; returns per-epoch mean losses.
+
+    The batch is cast once to the model's own dtype (set by the numeric
+    policy at model construction); per-epoch loss means accumulate in
+    float64 regardless of policy (they are Python floats from
+    :func:`~repro.learn.ops.cross_entropy_loss`).
+    """
+    x = np.asarray(x, dtype=model.dtype)
     y = np.asarray(y)
     if len(x) != len(y):
         raise ConfigurationError("features and labels must align")

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import QuantizationError
 from repro.mx.formats import MXFormat
 from repro.mx.quantize import quantize
+from repro.numeric import ensure_float
 
 __all__ = ["mx_dot", "mx_matmul"]
 
@@ -38,8 +39,8 @@ def mx_dot(
     Returns:
         The FP32-accumulated dot product of the quantized operands.
     """
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    a = ensure_float(a)
+    b = ensure_float(b)
     if a.ndim != 1 or b.ndim != 1:
         raise QuantizationError("mx_dot expects 1-D operands")
     if a.shape != b.shape:
@@ -62,10 +63,11 @@ def mx_matmul(
 
     Blocks are formed along the contraction axis of each operand (the last
     axis of ``a`` and the first axis of ``b``), matching how the systolic
-    array streams dot-product operands.
+    array streams dot-product operands.  Operands keep their float dtype
+    (mixed float32/float64 pairs promote in the final GEMM only).
     """
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    a = ensure_float(a)
+    b = ensure_float(b)
     if a.ndim != 2 or b.ndim != 2:
         raise QuantizationError("mx_matmul expects 2-D operands")
     if a.shape[1] != b.shape[0]:

@@ -12,27 +12,37 @@ import numpy as np
 
 from repro.mx.formats import FORMATS, MXFormat
 from repro.mx.quantize import quantize
+from repro.numeric import ensure_float
 
 __all__ = ["max_abs_error", "mse", "sqnr", "quantization_report"]
 
 
 def max_abs_error(values: np.ndarray, fmt: MXFormat, axis: int = -1) -> float:
     """Largest absolute deviation introduced by fake-quantizing ``values``."""
-    values = np.asarray(values, dtype=np.float64)
+    values = ensure_float(values)
     return float(np.max(np.abs(values - quantize(values, fmt, axis=axis))))
 
 
 def mse(values: np.ndarray, fmt: MXFormat, axis: int = -1) -> float:
-    """Mean squared quantization error."""
-    values = np.asarray(values, dtype=np.float64)
+    """Mean squared quantization error.
+
+    The squared errors are formed in the operand dtype; the mean is an
+    accumulation site and always reduces in float64 (a float32 sum over a
+    large tensor would bury the smaller squared errors).
+    """
+    values = ensure_float(values)
     err = values - quantize(values, fmt, axis=axis)
-    return float(np.mean(err * err))
+    return float(np.mean(err * err, dtype=np.float64))
 
 
 def sqnr(values: np.ndarray, fmt: MXFormat, axis: int = -1) -> float:
-    """Signal-to-quantization-noise ratio in dB (inf for exact round trips)."""
-    values = np.asarray(values, dtype=np.float64)
-    signal = float(np.mean(values * values))
+    """Signal-to-quantization-noise ratio in dB (inf for exact round trips).
+
+    Signal power reduces in float64 under every policy (accumulation
+    site), mirroring :func:`mse`.
+    """
+    values = ensure_float(values)
+    signal = float(np.mean(values * values, dtype=np.float64))
     noise = mse(values, fmt, axis=axis)
     if noise == 0.0:
         return float("inf")

@@ -7,6 +7,12 @@ padded to whole bytes.  :func:`pack` and :func:`unpack` are exact inverses
 for any encoded :class:`~repro.mx.quantize.MXTensor`, and the byte counts
 match :meth:`~repro.mx.formats.MXFormat.bytes_for` -- the accounting the
 DRAM-traffic model relies on.
+
+The packed layout is numeric-policy-neutral: an MXTensor holds integer
+mantissas/exponents only, so a block encoded from a float32 tensor packs
+to the same bytes as its float64-encoded counterpart (every MX value is
+exact in either dtype); decode back to a chosen float dtype via
+:func:`repro.mx.quantize.dequantize`'s ``dtype`` parameter.
 """
 
 from __future__ import annotations

@@ -35,6 +35,7 @@ from repro.mx.formats import (
     MIN_SHARED_EXPONENT,
     MXFormat,
 )
+from repro.numeric import ensure_float
 
 __all__ = ["MXTensor", "quantize_blocks", "dequantize", "quantize"]
 
@@ -103,11 +104,16 @@ def _prepare_blocks(
 ) -> tuple[np.ndarray, int, np.ndarray, int]:
     """Validate input and reshape it into the block layout.
 
+    Dtype-polymorphic: float32 and float64 inputs keep their dtype through
+    the whole encode (non-float inputs are cast to float64 as before);
+    every downstream scale is built in the operand dtype, so a float32
+    block never silently upcasts to float64 mid-kernel.
+
     Returns ``(arr, axis, grouped, length)`` where ``grouped`` has shape
     ``(*lead, blocks, block_size)`` (zero-padded along the final block) and
     ``length`` is the unpadded extent along the blocking axis.
     """
-    arr = np.asarray(values, dtype=np.float64)
+    arr = ensure_float(values)
     if arr.size and not np.isfinite(arr).all():
         raise QuantizationError("MX cannot encode NaN or Inf values")
     if arr.ndim == 0:
@@ -122,7 +128,7 @@ def _prepare_blocks(
     padded_len = blocks * fmt.block_size
     if padded_len != length:
         padded = np.zeros(
-            (*moved.shape[:-1], padded_len), dtype=np.float64
+            (*moved.shape[:-1], padded_len), dtype=arr.dtype
         )
         padded[..., :length] = moved
         moved = padded
@@ -158,7 +164,9 @@ def _encode_core(
     # bit is set, which is what buys back a bit of precision (Figure 6).
     scale_exp = shared[..., None] - micro.astype(np.int32)
     scale_exp -= fmt.mantissa_bits - 1
-    scales = np.ldexp(1.0, scale_exp)
+    # Scales in the operand dtype (powers of two are exact in either), so
+    # a float32 encode stays float32 end to end instead of upcasting here.
+    scales = np.ldexp(grouped.dtype.type(1.0), scale_exp)
 
     scaled = grouped.reshape(sub_shape) / scales[..., None]
     if rounding == "nearest":
@@ -224,20 +232,26 @@ def quantize_blocks(
     )
 
 
-def dequantize(tensor: MXTensor) -> np.ndarray:
-    """Decode an :class:`MXTensor` back to float64, dropping block padding."""
+def dequantize(tensor: MXTensor, dtype: np.dtype = np.float64) -> np.ndarray:
+    """Decode an :class:`MXTensor` to ``dtype``, dropping block padding.
+
+    Every representable MX value (mantissa magnitude < 2**8 times a power
+    of two) is exact in float32 and float64 alike, so decoding to either
+    dtype yields the same real numbers.
+    """
     fmt = tensor.fmt
+    dtype = np.dtype(dtype)
     effective = tensor.shared_exponents[..., None] - tensor.microexponents.astype(
         np.int32
     )
     scale_exp = effective - (fmt.mantissa_bits - 1)
-    scales = np.ldexp(1.0, scale_exp)
+    scales = np.ldexp(dtype.type(1.0), scale_exp)
     sub_shape = (
         *tensor.mantissas.shape[:-1],
         fmt.subblocks_per_block,
         fmt.subblock_size,
     )
-    sub_mantissas = tensor.mantissas.reshape(sub_shape).astype(np.float64)
+    sub_mantissas = tensor.mantissas.reshape(sub_shape).astype(dtype)
     decoded = (sub_mantissas * scales[..., None]).reshape(tensor.mantissas.shape)
 
     flat = decoded.reshape(*decoded.shape[:-2], -1)

@@ -1,0 +1,206 @@
+"""The numeric policy: one explicit dtype decision threaded everywhere.
+
+Historically every float-producing layer hardcoded ``np.float64``.  That is
+the safe default -- all reference digests were frozen under it -- but it is
+also double the memory traffic and half the SIMD throughput the experiments
+could have on bandwidth-starved hosts (the same scarcity DaCapo itself is
+built around).  This module makes the dtype an explicit *policy* object:
+
+- :data:`FLOAT64` -- the default.  Bit-identical to the historical
+  behavior; the frozen reference digests in ``tests/reference/`` are
+  re-verified against it.
+- :data:`FLOAT32` -- the opt-in fast path (``REPRO_DTYPE=float32``).
+  Streams, proxy weights, and MX tensors are generated and carried in
+  float32; it has its *own* frozen reference digests and accuracy-delta
+  bounds against float64.
+
+Resolution order for the active policy:
+
+1. an ambient override installed with :func:`use_policy` (a
+   :class:`contextvars.ContextVar`, so it nests and is async/thread-safe);
+2. the ``REPRO_DTYPE`` environment variable (re-read per call so tests can
+   repoint it with a plain ``monkeypatch.setenv``; parsing is one dict
+   lookup);
+3. :data:`FLOAT64`.
+
+Layering contract: the *data-producing* layers (streams, proxy models,
+buffers, caches) consult :func:`active_policy` when they allocate, and from
+then on arrays are self-describing -- the MX kernels and the accelerator
+functional models are policy-free and simply preserve whatever float dtype
+reaches them (:func:`ensure_float`).  Reductions that would drift past test
+tolerances in float32 (loss means, SQNR statistics, windowed-accuracy
+accumulation, geometric means) accumulate in float64 regardless of policy;
+each such site is documented where it lives.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DTYPE_ENV",
+    "FLOAT32",
+    "FLOAT64",
+    "POLICIES",
+    "NumericPolicy",
+    "active_policy",
+    "ensure_float",
+    "resolve_policy",
+    "use_policy",
+]
+
+#: Environment variable selecting the process-wide policy.
+DTYPE_ENV = "REPRO_DTYPE"
+
+#: The float dtypes arrays are allowed to flow through the numeric layers
+#: in; anything else is cast (never silently upcast between these two).
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+@dataclass(frozen=True)
+class NumericPolicy:
+    """Every dtype-dependent constant, resolved once and threaded through.
+
+    Attributes:
+        name: Canonical policy name (``"float64"`` / ``"float32"``) -- the
+            value ``REPRO_DTYPE`` takes and the token cache keys embed.
+        dtype: The numpy dtype streams, weights, and activations carry.
+        eps: Machine epsilon of :attr:`dtype`.
+        atol: Absolute tolerance for closeness assertions at this precision.
+        rtol: Relative tolerance for closeness assertions at this precision.
+        loss_floor: Clip floor under probabilities before ``log`` (exactly
+            representable in both dtypes, so it is policy-invariant).
+        digest_namespace: Short token namespacing content-addressed cache
+            keys and reference-digest files, so float32 and float64
+            artifacts can never collide.
+    """
+
+    name: str
+    dtype: np.dtype
+    eps: float
+    atol: float
+    rtol: float
+    loss_floor: float
+    digest_namespace: str
+
+    def asarray(self, values) -> np.ndarray:
+        """``values`` as an array of the policy dtype (no copy if already)."""
+        return np.asarray(values, dtype=self.dtype)
+
+    def empty(self, shape) -> np.ndarray:
+        """An uninitialized array of the policy dtype."""
+        return np.empty(shape, dtype=self.dtype)
+
+    def zeros(self, shape) -> np.ndarray:
+        """A zero array of the policy dtype."""
+        return np.zeros(shape, dtype=self.dtype)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+FLOAT64 = NumericPolicy(
+    name="float64",
+    dtype=np.dtype(np.float64),
+    eps=float(np.finfo(np.float64).eps),
+    atol=1e-9,
+    rtol=1e-9,
+    loss_floor=1e-12,
+    digest_namespace="f64",
+)
+
+FLOAT32 = NumericPolicy(
+    name="float32",
+    dtype=np.dtype(np.float32),
+    eps=float(np.finfo(np.float32).eps),
+    atol=1e-4,
+    rtol=1e-4,
+    loss_floor=1e-12,
+    digest_namespace="f32",
+)
+
+#: Supported policies by canonical name.
+POLICIES: dict[str, NumericPolicy] = {
+    FLOAT64.name: FLOAT64,
+    FLOAT32.name: FLOAT32,
+}
+
+#: Accepted spellings for each policy (environment values, CLI args).
+_ALIASES: dict[str, NumericPolicy] = {
+    "": FLOAT64,
+    "float64": FLOAT64,
+    "fp64": FLOAT64,
+    "f64": FLOAT64,
+    "64": FLOAT64,
+    "double": FLOAT64,
+    "float32": FLOAT32,
+    "fp32": FLOAT32,
+    "f32": FLOAT32,
+    "32": FLOAT32,
+    "single": FLOAT32,
+}
+
+_override: ContextVar[NumericPolicy | None] = ContextVar(
+    "repro_numeric_policy", default=None
+)
+
+
+def resolve_policy(spec: "str | NumericPolicy | None") -> NumericPolicy:
+    """A policy from a name/alias, an existing policy, or None (default)."""
+    if spec is None:
+        return FLOAT64
+    if isinstance(spec, NumericPolicy):
+        return spec
+    try:
+        return _ALIASES[spec.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ConfigurationError(
+            f"unknown numeric policy {spec!r} "
+            f"(set {DTYPE_ENV} to one of: {known})"
+        )
+
+
+def active_policy() -> NumericPolicy:
+    """The policy in effect: override > ``$REPRO_DTYPE`` > float64."""
+    override = _override.get()
+    if override is not None:
+        return override
+    return resolve_policy(os.environ.get(DTYPE_ENV))
+
+
+@contextmanager
+def use_policy(spec: "str | NumericPolicy"):
+    """Force a policy for the dynamic extent of the ``with`` block.
+
+    Nests (the previous override is restored on exit) and takes precedence
+    over the environment.  Benchmarks use this for the float64/float32 A/B;
+    tests use it to parametrize over both policies in one process.
+    """
+    policy = resolve_policy(spec)
+    token = _override.set(policy)
+    try:
+        yield policy
+    finally:
+        _override.reset(token)
+
+
+def ensure_float(values) -> np.ndarray:
+    """``values`` as a float32/float64 array, preserving which one it is.
+
+    The dtype-polymorphic layers (MX kernels, DPE functional model) accept
+    either policy dtype without silently upcasting float32 work to float64;
+    non-float inputs (ints, bools, lists) are cast to float64, matching the
+    historical behavior for those call sites.
+    """
+    arr = np.asarray(values)
+    if arr.dtype in _FLOAT_DTYPES:
+        return arr
+    return arr.astype(np.float64)

@@ -16,9 +16,13 @@ object is allocated and nothing is timed.  Enable it around a workload::
     print(profiler.report())
     profiling.disable()
 
-The active profiler is per-process.  Worker processes of the parallel grid
-runner do not report back to the parent; profile with ``--jobs 1`` (or
-inside a single worker) for complete coverage.
+The active profiler is per-process, but the parallel grid runner
+(:mod:`repro.core.parallel`) aggregates: when profiling is active in the
+parent, each worker shard runs under its own profiler and ships its
+snapshot back with the results, and the parent folds every worker snapshot
+into the active profiler (:meth:`Profiler.merge`).  ``--profile`` therefore
+composes with ``--jobs > 1``; the merged totals are CPU seconds across
+processes, so they can legitimately exceed the parent's wall clock.
 """
 
 from __future__ import annotations
@@ -115,6 +119,24 @@ class Profiler:
             name: {"total_s": self.totals[name], "count": self.counts[name]}
             for name in self.totals
         }
+
+    def merge(self, snapshot: dict[str, dict[str, float]]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        The parallel grid runner uses this to aggregate worker-process
+        profiles into the parent's, so ``--profile`` composes with
+        ``--jobs > 1``.  Phase totals are exclusive in each process, so
+        summing them keeps them exclusive (note the merged total then
+        counts CPU seconds across processes, which can exceed the
+        parent's wall time).
+        """
+        for name, entry in snapshot.items():
+            self.totals[name] = (
+                self.totals.get(name, 0.0) + float(entry["total_s"])
+            )
+            self.counts[name] = (
+                self.counts.get(name, 0) + int(entry["count"])
+            )
 
     def report(self) -> str:
         """A human-readable breakdown, largest phase first."""

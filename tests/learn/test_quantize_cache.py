@@ -16,8 +16,12 @@ def make_mlp(seed=0, hidden=(8,), classes=4, dim=6):
 
 
 def uncached_forward(mlp, x, fmt, sensitivity=1.0):
-    """The pre-cache forward pass: re-quantize weights on every call."""
-    h = np.asarray(x, dtype=np.float64)
+    """The pre-cache forward pass: re-quantize weights on every call.
+
+    Runs at the model's own dtype so the equivalence holds under any
+    ambient numeric policy.
+    """
+    h = np.asarray(x, dtype=mlp.dtype)
     for i, (w, b) in enumerate(zip(mlp.weights, mlp.biases)):
         h_q = effective_quantize(h, fmt, sensitivity)
         w_q = effective_quantize(w, fmt, sensitivity, axis=0)
