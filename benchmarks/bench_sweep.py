@@ -1,0 +1,73 @@
+"""Fleet-sweep benchmark: the shipped two-camera smoke spec, both dtypes.
+
+Runs ``examples/fleet_smoke.toml`` (one DaCapo system on two scenario
+"cameras" under both numeric policies) through the sweep subsystem with
+``--jobs 2`` semantics and emits the machine-readable document as
+``benchmarks/results/BENCH_sweep_fleet.json`` -- the artifact CI uploads
+alongside the existing bench JSONs.  Shape assertions check the planner's
+stream dedup (a fleet shares materializations, it does not multiply them)
+and that the aggregate rows round-trip through the JSON emission.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.sweep import compile_plan, load_spec, run_sweep, write_outputs
+
+RESULTS_DIR = Path(__file__).parent / "results"
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+OUTPUT = RESULTS_DIR / "BENCH_sweep_fleet.json"
+
+
+def test_fleet_smoke_sweep(save_report):
+    spec = load_spec(EXAMPLES / "fleet_smoke.toml")
+    plan = compile_plan(spec)
+    estimate = plan.estimate(jobs=2)
+
+    # The two-camera fleet: 2 policies x 2 scenarios, one system/pair/seed.
+    assert estimate.cells == 4
+    # Stream dedup: every cell has its own (policy, scenario, duration)
+    # stream here, but the planner prices materialized seconds separately
+    # from total seconds so sharing shows up when cells overlap.
+    assert estimate.distinct_streams == 4
+    assert estimate.distinct_stream_seconds <= estimate.stream_seconds
+
+    start = time.perf_counter()
+    result = run_sweep(plan, jobs=2)
+    wall_s = time.perf_counter() - start
+    save_report(result)
+
+    document = result.extras["document"]
+    assert document["policies"] == ["float64", "float32"]
+    assert len(document["cells"]) == 4
+    # The override shortens camera S4 to 60 s in both policy groups.
+    durations = {
+        (row["policy"], row["scenario"]): row["duration_s"]
+        for row in document["cells"]
+    }
+    assert durations[("float64", "S4")] == 60.0
+    assert durations[("float32", "S4")] == 60.0
+    assert durations[("float64", "S1")] == 120.0
+    # Aggregate: one row per (policy, scenario), accuracies sane.
+    assert len(document["aggregate"]) == 4
+    for row in document["aggregate"]:
+        assert 0.0 <= row["accuracy_mean"] <= 1.0
+
+    paths = write_outputs(result, RESULTS_DIR)
+    emitted = json.loads(
+        (RESULTS_DIR / "sweep_fleet_smoke.json").read_text()
+    )
+    # Round-trip: the emitted JSON carries the same rows bit-exactly.
+    assert emitted["aggregate"] == document["aggregate"]
+    assert emitted["cells"] == document["cells"]
+
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps({
+        "wall_s": wall_s,
+        "estimate": estimate.as_dict(),
+        "document": document,
+        "outputs": [path.name for path in paths],
+    }, indent=2) + "\n")

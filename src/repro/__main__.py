@@ -5,7 +5,13 @@ Subcommands:
 - ``list`` -- show available experiments, systems, scenarios, and pairs.
 - ``experiment <id>`` -- run one paper artifact and print its report.
 - ``run <system> <pair> <scenario>`` -- run one system and print a summary.
+- ``sweep <spec.toml>`` -- run a declarative fleet sweep (``--plan`` prices
+  it without running; ``--out DIR`` saves JSON/CSV artifacts).
 - ``tune <pair>`` -- offline hyperparameter search (section VI-D).
+
+Configuration errors (unknown names, malformed sweep specs, invalid
+``--jobs`` values) exit with status 2 and a one-line message instead of a
+traceback.
 
 ``--profile`` (on ``experiment`` and ``run``) prints a phase-level
 wall-time breakdown (materialize / pretrain / label / retrain / inference)
@@ -21,14 +27,23 @@ reference digests -- see README "Numeric policy").
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from repro import profiling
-from repro.core import SYSTEM_BUILDERS, build_system, run_on_scenario
+from repro.core import (
+    SYSTEM_BUILDERS,
+    build_system,
+    default_jobs,
+    run_on_scenario,
+)
 from repro.core.tuning import tune_hyperparameters
 from repro.data.scenarios import SCENARIO_NAMES
+from repro.errors import ConfigurationError
 from repro.experiments import EXPERIMENTS, run_experiment, supports_jobs
 from repro.models import MODEL_PAIRS
+from repro.sweep import compile_plan, load_spec, run_sweep, write_outputs
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -83,6 +98,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    plan = compile_plan(spec)
+    jobs = args.jobs if args.jobs is not None else 1
+    if jobs < 0:
+        # Same contract as run_cells; checked here so --plan rejects an
+        # invalid --jobs too instead of silently pricing at one worker.
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if args.plan:
+        print(plan.describe(jobs=jobs or default_jobs()), end="")
+        return 0
+    profiler = profiling.enable() if args.profile else None
+    try:
+        result = run_sweep(plan, jobs=jobs)
+    finally:
+        if profiler is not None:
+            profiling.disable()
+    print(result.report)
+    if profiler is not None:
+        print()
+        print(profiler.report())
+    if args.out is not None:
+        for path in write_outputs(result, args.out):
+            print(f"wrote {path}")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     outcome = tune_hyperparameters(
         args.pair, duration_s=args.duration or 300.0, seed=args.seed
@@ -124,6 +166,26 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--profile", action="store_true",
                        help="print a phase-level wall-time breakdown")
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run a declarative fleet sweep from a TOML/JSON spec"
+    )
+    p_sweep.add_argument("spec", type=Path,
+                         help="sweep spec file (.toml or .json); shipped "
+                              "examples live under examples/")
+    p_sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes per policy group; 0 uses "
+                              "all cores (results are identical at any "
+                              "worker count)")
+    p_sweep.add_argument("--profile", action="store_true",
+                         help="print a phase-level wall-time breakdown "
+                              "(aggregates worker processes)")
+    p_sweep.add_argument("--out", type=Path, default=None, metavar="DIR",
+                         help="directory for JSON/CSV artifacts "
+                              "(per-cell rows, aggregate rows, report)")
+    p_sweep.add_argument("--plan", action="store_true",
+                         help="print the compiled plan and cost estimate "
+                              "without running anything")
+
     p_tune = sub.add_parser("tune", help="offline hyperparameter search")
     p_tune.add_argument("pair", choices=list(MODEL_PAIRS))
     p_tune.add_argument("--duration", type=float, default=None)
@@ -134,9 +196,22 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "experiment": _cmd_experiment,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "tune": _cmd_tune,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ConfigurationError as exc:
+        # A bad name, spec, or --jobs value is an operator mistake, not a
+        # crash: one line on stderr, conventional usage-error status.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (head, a pager) closed the pipe mid-report.
+        # Repoint stdout at devnull so the interpreter's exit-time flush
+        # does not raise a second traceback, and exit like SIGPIPE would.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -39,7 +39,9 @@ from repro.core.parallel import (
     SystemCell,
     default_jobs,
     parallel_map,
+    plan_shards,
     run_cells,
+    stream_signature,
     warm_model_caches,
 )
 from repro.core.tuning import (
@@ -71,8 +73,10 @@ __all__ = [
     "default_search_space",
     "hyperparameter_table",
     "parallel_map",
+    "plan_shards",
     "run_cells",
     "run_on_scenario",
+    "stream_signature",
     "tune_hyperparameters",
     "validate_run",
     "warm_model_caches",

@@ -54,7 +54,9 @@ __all__ = [
     "SystemCell",
     "default_jobs",
     "parallel_map",
+    "plan_shards",
     "run_cells",
+    "stream_signature",
     "warm_model_caches",
 ]
 
@@ -144,12 +146,17 @@ def _run_shard(
             profiling.disable()
 
 
-def _stream_signature(cell) -> tuple:
-    """The (scenario, seed, duration) key identifying a cell's stream."""
+def stream_signature(cell) -> tuple:
+    """The (scenario, seed, duration) key identifying a cell's stream.
+
+    Cells sharing a signature consume the same materialized stream, so the
+    signature is both the sharding key here and the dedup/cost unit the
+    sweep planner (:mod:`repro.sweep.plan`) reports before running a fleet.
+    """
     return (cell.scenario, cell.seed, cell.duration_s)
 
 
-def _shard_cells(
+def plan_shards(
     cells: Sequence, jobs: int
 ) -> list[list[tuple[int, object]]]:
     """Group (index, cell) pairs into stream-sharing shards.
@@ -161,10 +168,14 @@ def _shard_cells(
     scenario, and contiguous halves would put every expensive system in
     one worker.  Result order is restored from the carried indices, so
     the split pattern never affects output.
+
+    This is exactly the decomposition :func:`run_cells` executes; it is
+    public so planners can estimate materialization counts and worker
+    balance without running anything.
     """
     groups: dict[tuple, list[tuple[int, object]]] = {}
     for index, cell in enumerate(cells):
-        groups.setdefault(_stream_signature(cell), []).append((index, cell))
+        groups.setdefault(stream_signature(cell), []).append((index, cell))
     shards = list(groups.values())
     target = min(jobs, len(cells))
     while len(shards) < target:
@@ -238,7 +249,7 @@ def run_cells(
         return [_run_cell(cell) for cell in cells]
 
     warm_model_caches(cells)
-    shards = _shard_cells(cells, jobs)
+    shards = plan_shards(cells, jobs)
     policy_name = active_policy().name
     profiler = profiling.active()
     payloads = [

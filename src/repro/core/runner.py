@@ -47,6 +47,8 @@ from repro.platform import (
 from repro.platform.base import Platform
 
 __all__ = [
+    "FIG2_KINDS",
+    "GPU_PLATFORMS",
     "SYSTEM_BUILDERS",
     "build_system",
     "build_fig2_system",
@@ -144,6 +146,12 @@ _GPU_PLATFORMS = {
     "OrinHigh": jetson_orin_high,
     "OrinLow": jetson_orin_low,
 }
+
+#: GPU platform names accepted by :func:`build_fig2_system`.
+GPU_PLATFORMS: tuple[str, ...] = tuple(_GPU_PLATFORMS)
+
+#: System kinds accepted by :func:`build_fig2_system`.
+FIG2_KINDS: tuple[str, ...] = ("student", "teacher", "ekya")
 
 
 def build_system(

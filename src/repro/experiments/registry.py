@@ -67,5 +67,17 @@ def supports_jobs(name: str) -> bool:
 
 
 def run_experiment(name: str, **kwargs) -> ExperimentResult:
-    """Run an experiment by id with optional overrides."""
-    return _get_runner(name)(**kwargs)
+    """Run an experiment by id with optional overrides.
+
+    Unknown override names raise :class:`ConfigurationError` (not a bare
+    ``TypeError``) so callers -- the CLI, sweep tooling -- can report them
+    as configuration mistakes; the check binds against the runner's
+    signature *before* calling so experiment-internal ``TypeError``\\ s are
+    never misclassified.
+    """
+    runner = _get_runner(name)
+    try:
+        inspect.signature(runner).bind(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(f"experiment {name!r}: {exc}")
+    return runner(**kwargs)

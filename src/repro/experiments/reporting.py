@@ -40,8 +40,13 @@ def format_table(rows: list[dict], floatfmt: str = ".3f") -> str:
             raise ConfigurationError("rows must share the same columns")
 
     def fmt(value: object) -> str:
-        if isinstance(value, float):
-            return format(value, floatfmt)
+        # np.floating covers float32 scalars, which are not ``float``
+        # subclasses (float64 is) -- without it, float32-policy rows print
+        # raw numpy reprs instead of honoring floatfmt.
+        if isinstance(value, (float, np.floating)):
+            return format(float(value), floatfmt)
+        if value is None:
+            return "-"
         return str(value)
 
     body = [[fmt(row[h]) for h in headers] for row in rows]
@@ -67,13 +72,26 @@ def format_series(
 ) -> str:
     """Render named time series as columns (one row per time point).
 
-    Long series are downsampled to at most ``width`` rows.
+    Long series are downsampled to at most ``width`` rows; the first and
+    final time points are always included.
     """
     times = np.asarray(times)
     if len(times) == 0:
         return "(empty series)\n"
-    stride = max(1, len(times) // width)
-    picked = np.arange(0, len(times), stride)
+    # Ceil stride over the *span* of indices: a floor stride emits up to
+    # ~2x width rows (e.g. 119 points at width 60 -> stride 1 -> 119 rows).
+    # With stride = ceil((n-1)/(width-1)), arange yields at most ``width``
+    # picks, and appending the final index can only exceed that if
+    # floor((n-1)/stride) = width-1 with a nonzero remainder -- impossible,
+    # since stride*(width-1) >= n-1.
+    span = len(times) - 1
+    if width <= 1:
+        picked = np.array([span])
+    else:
+        stride = max(1, -(-span // (width - 1)))
+        picked = np.arange(0, len(times), stride)
+        if picked[-1] != span:
+            picked = np.append(picked, span)
     names = list(series)
     header = "time_s".ljust(8) + " | " + " | ".join(
         n.rjust(max(8, len(n))) for n in names

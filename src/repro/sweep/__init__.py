@@ -1,0 +1,51 @@
+"""Fleet sweeps: declarative grid specs, a planner, and result aggregation.
+
+The first experiment surface that is not hand-coded per figure: a TOML/JSON
+:class:`~repro.sweep.spec.SweepSpec` describes a camera fleet as a
+cross-product (systems x pairs x scenarios x seeds x durations x numeric
+policies, with per-axis overrides), the planner compiles it into the same
+cells the figure experiments run and prices it before running, and the
+aggregation layer reduces per-cell rows into machine-readable group-bys.
+
+Entry points: ``python -m repro sweep <spec.toml>`` on the command line,
+or programmatically::
+
+    from repro.sweep import load_spec, compile_plan, run_sweep
+
+    spec = load_spec("examples/fig9_sweep.toml")
+    print(compile_plan(spec).describe(jobs=8))   # price it first
+    result = run_sweep(spec, jobs=8)             # then run the fleet
+"""
+
+from repro.sweep.aggregate import aggregate_rows, cell_row, read_json
+from repro.sweep.plan import (
+    CostEstimate,
+    PolicyPlan,
+    SweepPlan,
+    compile_plan,
+)
+from repro.sweep.run import run_sweep, write_outputs
+from repro.sweep.spec import (
+    METRICS,
+    SweepOverride,
+    SweepSpec,
+    load_spec,
+    spec_from_mapping,
+)
+
+__all__ = [
+    "CostEstimate",
+    "METRICS",
+    "PolicyPlan",
+    "SweepOverride",
+    "SweepPlan",
+    "SweepSpec",
+    "aggregate_rows",
+    "cell_row",
+    "compile_plan",
+    "load_spec",
+    "read_json",
+    "run_sweep",
+    "spec_from_mapping",
+    "write_outputs",
+]

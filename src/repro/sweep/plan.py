@@ -1,0 +1,240 @@
+"""Sweep planner: compile a spec into per-policy cell lists plus a cost model.
+
+Compilation walks the spec's axes in their documented order (see
+:data:`repro.sweep.spec.AXIS_ORDERS`), applying per-axis overrides to each
+bound prefix, and emits one :class:`~repro.core.parallel.SystemCell` or
+:class:`~repro.core.parallel.Fig2Cell` per grid point, grouped by numeric
+policy (a policy is ambient process state -- ``use_policy`` -- so cells of
+different policies cannot share one ``run_cells`` invocation).
+
+Because the expansion order matches the hand-coded figure experiments
+(pairs outer, systems, then scenarios), a spec mirroring Figure 9 compiles
+to *exactly* the cell list ``run_fig9`` builds, and therefore -- via
+``run_cells``'s any-worker-count determinism -- to bit-identical
+:class:`~repro.core.results.RunResult`\\ s.
+
+The cost model reuses the exact decomposition the executor will use:
+:func:`repro.core.parallel.plan_shards` groups cells by stream signature,
+so :meth:`SweepPlan.estimate` reports how many distinct streams a fleet
+materializes, how many stream-seconds it simulates (shared vs. total), and
+how balanced the worker shards are -- before anything runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parallel import (
+    Fig2Cell,
+    SystemCell,
+    plan_shards,
+    stream_signature,
+)
+from repro.data.stream import DEFAULT_DURATION_S
+from repro.numeric import NumericPolicy, POLICIES, active_policy
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["CostEstimate", "PolicyPlan", "SweepPlan", "compile_plan"]
+
+
+@dataclass(frozen=True)
+class PolicyPlan:
+    """The cells one numeric policy runs, in execution order."""
+
+    policy: NumericPolicy
+    cells: tuple
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """What a sweep will cost, from the executor's own decomposition.
+
+    Attributes:
+        cells: Total grid cells across every policy.
+        distinct_streams: Distinct (policy, scenario, seed, duration)
+            streams the fleet materializes.
+        stream_seconds: Simulated seconds summed over every cell (the
+            work a sharing-free runner would do).
+        distinct_stream_seconds: Simulated seconds summed over distinct
+            streams only (what the artifact store actually materializes).
+        pretrained_models: Distinct (policy, pair, model seed) pretrains.
+        shards: Worker shards at the estimate's ``jobs``.
+        largest_shard_cells: Cells in the heaviest shard (balance proxy).
+        jobs: The worker count the shard plan was computed for.
+    """
+
+    cells: int
+    distinct_streams: int
+    stream_seconds: float
+    distinct_stream_seconds: float
+    pretrained_models: int
+    shards: int
+    largest_shard_cells: int
+    jobs: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON reports."""
+        return {
+            "cells": self.cells,
+            "distinct_streams": self.distinct_streams,
+            "stream_seconds": self.stream_seconds,
+            "distinct_stream_seconds": self.distinct_stream_seconds,
+            "pretrained_models": self.pretrained_models,
+            "shards": self.shards,
+            "largest_shard_cells": self.largest_shard_cells,
+            "jobs": self.jobs,
+        }
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A compiled sweep: per-policy cell lists plus the originating spec."""
+
+    spec: SweepSpec
+    groups: tuple[PolicyPlan, ...]
+
+    @property
+    def num_cells(self) -> int:
+        return sum(len(group.cells) for group in self.groups)
+
+    def estimate(self, jobs: int = 1) -> CostEstimate:
+        """Cost model at a worker count, via the executor's shard planner."""
+        jobs = max(1, jobs)
+        streams: dict[tuple, float] = {}
+        pretrains: set[tuple] = set()
+        total_seconds = 0.0
+        shards = 0
+        largest = 0
+        for group in self.groups:
+            for cell in group.cells:
+                duration = cell.duration_s
+                if duration is None:
+                    duration = float(DEFAULT_DURATION_S)
+                total_seconds += duration
+                streams[(group.policy.name,) + stream_signature(cell)] = (
+                    duration
+                )
+                model_seed = (
+                    cell.seed if isinstance(cell, SystemCell) else 0
+                )
+                pretrains.add((group.policy.name, cell.pair, model_seed))
+            group_shards = plan_shards(group.cells, jobs)
+            shards += len(group_shards)
+            largest = max(
+                largest, max(len(shard) for shard in group_shards)
+            )
+        return CostEstimate(
+            cells=self.num_cells,
+            distinct_streams=len(streams),
+            stream_seconds=total_seconds,
+            distinct_stream_seconds=float(sum(streams.values())),
+            pretrained_models=len(pretrains),
+            shards=shards,
+            largest_shard_cells=largest,
+            jobs=jobs,
+        )
+
+    def describe(self, jobs: int = 1) -> str:
+        """Human-readable plan summary (the ``sweep --plan`` output)."""
+        est = self.estimate(jobs)
+        lines = [
+            f"sweep {self.spec.name!r}: {self.spec.title}",
+            f"  cell kind          {self.spec.cell}",
+            "  policies           "
+            + ", ".join(g.policy.name for g in self.groups),
+            f"  cells              {est.cells}",
+            f"  distinct streams   {est.distinct_streams}",
+            "  stream seconds     "
+            f"{est.stream_seconds:.0f} total / "
+            f"{est.distinct_stream_seconds:.0f} materialized",
+            f"  pretrained models  {est.pretrained_models}",
+            f"  shards @ jobs={est.jobs:<4d} "
+            f"{est.shards} (largest {est.largest_shard_cells} cells)",
+        ]
+        for group in self.groups:
+            head = group.cells[: 3]
+            preview = ", ".join(_cell_label(cell) for cell in head)
+            more = len(group.cells) - len(head)
+            if more > 0:
+                preview += f", ... (+{more})"
+            lines.append(f"  [{group.policy.name}] {preview}")
+        return "\n".join(lines) + "\n"
+
+
+def _cell_label(cell) -> str:
+    if isinstance(cell, Fig2Cell):
+        name = f"{cell.platform}-{cell.kind}"
+    else:
+        name = cell.system
+    duration = "def" if cell.duration_s is None else f"{cell.duration_s:g}s"
+    return f"{name}/{cell.pair}/{cell.scenario}/s{cell.seed}/{duration}"
+
+
+def _effective_values(spec: SweepSpec, axis: str, bound: dict) -> tuple:
+    """The value list for ``axis`` given the bound prefix (overrides applied,
+    file order, last match wins)."""
+    values = spec.axes[axis]
+    for override in spec.overrides:
+        if not override.applies(bound):
+            continue
+        for ov_axis, ov_values in override.axes:
+            if ov_axis == axis:
+                values = ov_values
+    return values
+
+
+def _expand(spec: SweepSpec, policy_name: str) -> list:
+    """All cells of one policy, in documented axis order."""
+    order = [axis for axis in spec.axis_order if axis != "policy"]
+    cells: list = []
+    bound: dict = {"policy": policy_name}
+
+    def walk(depth: int) -> None:
+        if depth == len(order):
+            cells.append(_make_cell(spec, bound))
+            return
+        axis = order[depth]
+        for value in _effective_values(spec, axis, bound):
+            bound[axis] = value
+            walk(depth + 1)
+        del bound[axis]
+
+    walk(0)
+    return cells
+
+
+def _make_cell(spec: SweepSpec, bound: dict):
+    if spec.cell == "fig2":
+        return Fig2Cell(
+            kind=bound["kind"],
+            platform=bound["platform"],
+            pair=bound["pair"],
+            scenario=bound["scenario"],
+            seed=bound["seed"],
+            duration_s=bound["duration"],
+        )
+    return SystemCell(
+        system=bound["system"],
+        pair=bound["pair"],
+        scenario=bound["scenario"],
+        seed=bound["seed"],
+        duration_s=bound["duration"],
+    )
+
+
+def compile_plan(spec: SweepSpec) -> SweepPlan:
+    """Compile a validated spec into per-policy cell lists.
+
+    An empty ``policy`` axis resolves to the ambient policy *here* (not at
+    load time), so a policy-agnostic spec honors ``REPRO_DTYPE`` and
+    ``use_policy`` the same way every other experiment entry point does.
+    """
+    policy_names = spec.axes.get("policy") or (active_policy().name,)
+    groups = tuple(
+        PolicyPlan(
+            policy=POLICIES[name],
+            cells=tuple(_expand(spec, name)),
+        )
+        for name in policy_names
+    )
+    return SweepPlan(spec=spec, groups=groups)

@@ -1,0 +1,137 @@
+"""Sweep execution: plan -> ``run_cells`` per policy -> rows, report, files.
+
+Execution is deliberately thin: every policy group runs through exactly the
+``run_cells`` path the figure experiments use (under ``use_policy``, so the
+PR 3 digest-safe plumbing -- policy-namespaced artifact keys, worker-side
+policy re-install, profile merging -- applies unchanged).  A sweep of the
+Figure 9 grid therefore produces bit-identical per-cell results to
+``repro experiment fig9`` at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.parallel import default_jobs, run_cells
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.numeric import use_policy
+from repro.sweep.aggregate import (
+    SWEEP_SCHEMA_VERSION,
+    aggregate_rows,
+    cell_row,
+    write_csv,
+    write_json,
+)
+from repro.sweep.plan import SweepPlan, compile_plan
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["run_sweep", "write_outputs"]
+
+#: Don't inline the per-cell table into the text report past this size.
+_MAX_INLINE_CELL_ROWS = 36
+
+
+def run_sweep(
+    spec: SweepSpec | SweepPlan, jobs: int = 1
+) -> ExperimentResult:
+    """Execute a sweep spec (or precompiled plan) and aggregate the fleet.
+
+    Args:
+        spec: A validated :class:`~repro.sweep.spec.SweepSpec`, or the
+            :class:`~repro.sweep.plan.SweepPlan` already compiled from one.
+        jobs: Worker processes per policy group; 1 runs serially, 0 means
+            "all cores".  Results are identical at any worker count.
+
+    Returns:
+        An :class:`ExperimentResult` whose ``rows`` are the aggregate
+        rows; ``extras`` carries the per-cell rows (``"cells"``), the raw
+        ``(policy name, cell, RunResult)`` triples (``"results"``), the
+        cost estimate, and the serializable document (``"document"``).
+    """
+    plan = spec if isinstance(spec, SweepPlan) else compile_plan(spec)
+    spec = plan.spec
+    estimate = plan.estimate(jobs if jobs > 0 else default_jobs())
+
+    triples = []
+    for group in plan.groups:
+        with use_policy(group.policy):
+            results = run_cells(list(group.cells), jobs=jobs)
+        triples.extend(
+            (group.policy.name, cell, result)
+            for cell, result in zip(group.cells, results)
+        )
+
+    cells = [
+        cell_row(policy_name, cell, result)
+        for policy_name, cell, result in triples
+    ]
+    aggregate = aggregate_rows(
+        cells, spec.group_by, spec.metrics, spec.percentiles
+    )
+
+    lines = [
+        f"Sweep {spec.name!r}: {spec.title}",
+        f"({estimate.cells} cells, {estimate.distinct_streams} distinct "
+        f"streams, {estimate.distinct_stream_seconds:.0f} of "
+        f"{estimate.stream_seconds:.0f} stream-seconds materialized)",
+        "",
+        f"Aggregate by ({', '.join(spec.group_by)}):",
+        format_table(aggregate),
+    ]
+    if len(cells) <= _MAX_INLINE_CELL_ROWS:
+        lines += ["Per-cell results:", format_table(cells)]
+    else:
+        lines.append(
+            f"({len(cells)} per-cell rows; use --out to save them)"
+        )
+    report = "\n".join(lines)
+
+    document = {
+        "schema_version": SWEEP_SCHEMA_VERSION,
+        "name": spec.name,
+        "title": spec.title,
+        "cell": spec.cell,
+        "policies": [group.policy.name for group in plan.groups],
+        "group_by": list(spec.group_by),
+        "metrics": list(spec.metrics),
+        "percentiles": list(spec.percentiles),
+        "estimate": estimate.as_dict(),
+        "cells": cells,
+        "aggregate": aggregate,
+    }
+    return ExperimentResult(
+        name=f"sweep_{spec.name}",
+        title=spec.title,
+        rows=aggregate,
+        report=report,
+        extras={
+            "cells": cells,
+            "results": tuple(triples),
+            "estimate": estimate.as_dict(),
+            "document": document,
+        },
+    )
+
+
+def write_outputs(result: ExperimentResult, out_dir: str | Path) -> list[Path]:
+    """Write a sweep's machine-readable artifacts under ``out_dir``.
+
+    Emits ``<name>.json`` (the self-describing document -- per-cell rows,
+    aggregate rows, cost estimate), ``<name>_cells.csv`` and
+    ``<name>_aggregate.csv`` (flat tables), and ``<name>.txt`` (the text
+    report).  Returns the written paths.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    document = result.extras["document"]
+    paths = [
+        write_json(out_dir / f"{result.name}.json", document),
+        write_csv(out_dir / f"{result.name}_cells.csv", document["cells"]),
+        write_csv(
+            out_dir / f"{result.name}_aggregate.csv", document["aggregate"]
+        ),
+    ]
+    report_path = out_dir / f"{result.name}.txt"
+    report_path.write_text(result.report)
+    paths.append(report_path)
+    return paths

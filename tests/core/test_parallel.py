@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import Fig2Cell, SystemCell, parallel_map, run_cells
-from repro.core.parallel import _run_cell, _shard_cells, warm_model_caches
+from repro.core.parallel import _run_cell, plan_shards, warm_model_caches
 from repro.errors import ConfigurationError
 from repro.learn.cache import CACHE_ENV
 
@@ -88,7 +88,7 @@ class TestSharding:
             for scenario in ("S1", "S4")
             for system in ("OrinHigh-Ekya", "OrinHigh-EOMU", "DaCapo-Ekya")
         ]
-        shards = _shard_cells(cells, jobs=2)
+        shards = plan_shards(cells, jobs=2)
         assert len(shards) == 2  # one per (scenario, seed, duration) stream
         for shard in shards:
             signatures = {(cell.scenario, cell.seed) for _, cell in shard}
@@ -103,9 +103,9 @@ class TestSharding:
             for system in ("OrinHigh-Ekya", "OrinHigh-EOMU", "DaCapo-Ekya",
                            "OrinLow-Ekya")
         ]
-        shards = _shard_cells(cells, jobs=4)
+        shards = plan_shards(cells, jobs=4)
         assert len(shards) == 4  # split down to singletons
-        shards = _shard_cells(cells, jobs=2)
+        shards = plan_shards(cells, jobs=2)
         assert len(shards) == 2
 
     def test_sharded_grid_matches_serial(self):

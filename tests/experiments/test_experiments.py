@@ -35,6 +35,12 @@ class TestRegistry:
         with pytest.raises(ConfigurationError):
             run_experiment("fig99")
 
+    def test_unknown_override_is_configuration_error(self):
+        # Bad kwargs bind-check happens before the runner executes, so
+        # the caller sees a configuration mistake, not a raw TypeError.
+        with pytest.raises(ConfigurationError, match="table1"):
+            run_experiment("table1", bogus=1)
+
 
 class TestTables:
     def test_table1_rows(self):

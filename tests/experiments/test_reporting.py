@@ -27,6 +27,18 @@ class TestFormatTable:
         text = format_table([{"x": 0.123456}], floatfmt=".1f")
         assert "0.1" in text and "0.12" not in text
 
+    @pytest.mark.parametrize("scalar", [np.float32, np.float64])
+    def test_numpy_scalars_honor_floatfmt(self, scalar):
+        # np.float32 is not a ``float`` subclass: before the fix,
+        # float32-policy reports printed raw numpy reprs.
+        text = format_table([{"x": scalar(0.123456789)}])
+        assert "0.123" in text
+        assert "np.float" not in text and "0.1234567" not in text
+
+    def test_none_renders_as_dash(self):
+        text = format_table([{"x": None}])
+        assert "-" in text.splitlines()[2]
+
 
 class TestFormatSeries:
     def test_renders_all_names(self):
@@ -41,6 +53,23 @@ class TestFormatSeries:
         series = {"x": np.ones(1000)}
         text = format_series(times, series, width=50)
         assert len(text.splitlines()) < 60
+
+    @pytest.mark.parametrize("n", [119, 120, 121, 60, 61, 240, 1000])
+    def test_at_most_width_rows(self, n):
+        # A floor stride emitted up to ~2x width rows (119 points at
+        # width 60 -> stride 1 -> 119 rows).
+        text = format_series(
+            np.arange(float(n)), {"x": np.ones(n)}, width=60
+        )
+        assert len(text.splitlines()) - 2 <= 60
+
+    def test_final_point_always_included(self):
+        n = 1000
+        text = format_series(
+            np.arange(float(n)), {"x": np.arange(float(n))}, width=50
+        )
+        last = text.splitlines()[-1]
+        assert last.startswith(f"{n - 1}")
 
     def test_empty(self):
         assert "empty" in format_series(np.array([]), {})

@@ -1,0 +1,92 @@
+"""Tests for the sweep aggregation layer and its serialization."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import aggregate_rows, read_json
+from repro.sweep.aggregate import write_csv, write_json
+
+
+def rows():
+    return [
+        {"policy": "float64", "system": "A", "accuracy": 0.8,
+         "drop_rate": 0.0},
+        {"policy": "float64", "system": "A", "accuracy": 0.4,
+         "drop_rate": 0.2},
+        {"policy": "float64", "system": "B", "accuracy": 0.5,
+         "drop_rate": 0.1},
+    ]
+
+
+class TestAggregateRows:
+    def test_group_means_and_percentiles(self):
+        out = aggregate_rows(
+            rows(), ("policy", "system"), ("accuracy",), (50.0,)
+        )
+        assert [r["system"] for r in out] == ["A", "B"]
+        a = out[0]
+        assert a["cells"] == 2
+        assert a["accuracy_mean"] == pytest.approx(0.6)
+        assert a["accuracy_gmean"] == pytest.approx(math.sqrt(0.8 * 0.4))
+        assert a["accuracy_p50"] == pytest.approx(0.6)
+
+    def test_gmean_none_when_not_all_positive(self):
+        out = aggregate_rows(
+            rows(), ("system",), ("drop_rate",), ()
+        )
+        assert out[0]["drop_rate_gmean"] is None  # group A contains a 0.0
+        assert out[1]["drop_rate_gmean"] == pytest.approx(0.1)
+
+    def test_fractional_percentile_column_name(self):
+        out = aggregate_rows(rows(), ("policy",), ("accuracy",), (99.9,))
+        assert "accuracy_p99_9" in out[0]
+
+    def test_group_order_is_first_appearance(self):
+        reversed_rows = list(reversed(rows()))
+        out = aggregate_rows(
+            reversed_rows, ("system",), ("accuracy",), ()
+        )
+        assert [r["system"] for r in out] == ["B", "A"]
+
+    def test_empty_rows(self):
+        assert aggregate_rows([], ("system",), ("accuracy",), ()) == []
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown aggregation"):
+            aggregate_rows(rows(), ("camera",), ("accuracy",), ())
+        with pytest.raises(ConfigurationError, match="unknown aggregation"):
+            aggregate_rows(rows(), ("system",), ("latency",), ())
+
+    def test_column_cannot_be_key_and_metric(self):
+        with pytest.raises(ConfigurationError, match="both"):
+            aggregate_rows(rows(), ("accuracy",), ("accuracy",), ())
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_rows(self, tmp_path):
+        aggregate = aggregate_rows(
+            rows(), ("policy", "system"), ("accuracy", "drop_rate"), (50.0,)
+        )
+        payload = {"aggregate": aggregate, "cells": rows()}
+        path = write_json(tmp_path / "sweep.json", payload)
+        loaded = read_json(path)
+        # Bit-exact round-trip: ints stay ints, floats stay floats,
+        # None (undefined gmean) survives as null.
+        assert loaded["aggregate"] == aggregate
+        assert loaded["cells"] == rows()
+
+    def test_csv_rows(self, tmp_path):
+        aggregate = aggregate_rows(
+            rows(), ("system",), ("drop_rate",), ()
+        )
+        path = write_csv(tmp_path / "agg.csv", aggregate)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "system,cells,drop_rate_mean,drop_rate_gmean"
+        assert len(lines) == 3
+        assert lines[1].endswith(",")  # None gmean -> empty field
+
+    def test_csv_empty(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", [])
+        assert path.read_text() == ""

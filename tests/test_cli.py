@@ -1,8 +1,30 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+
+TINY_SWEEP = {
+    "sweep": {"name": "cli-tiny", "title": "CLI tiny fleet"},
+    "axes": {
+        "systems": ["DaCapo-Spatiotemporal"],
+        "pairs": ["resnet18_wrn50"],
+        "scenarios": ["S1", "S4"],
+        "durations": [60.0],
+    },
+    "aggregate": {"group_by": ["policy", "scenario"],
+                  "percentiles": [50],
+                  "metrics": ["accuracy", "drop_rate"]},
+}
+
+
+@pytest.fixture
+def tiny_spec_path(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY_SWEEP))
+    return path
 
 
 class TestList:
@@ -25,6 +47,21 @@ class TestExperiment:
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
 
+    def test_jobs_on_unsupported_experiment_warns_and_runs(self, capsys):
+        # table1 takes no jobs parameter: the CLI warns on stderr and
+        # runs serially instead of crashing.
+        assert main(["experiment", "table1", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "does not support --jobs" in captured.err
+        assert "Nt" in captured.out
+
+    def test_invalid_jobs_exits_2_with_one_line_message(self, capsys):
+        assert main(["experiment", "table2", "--jobs", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "jobs must be >= 0" in err
+        assert len(err.strip().splitlines()) == 1
+
 
 class TestRun:
     def test_runs_system(self, capsys):
@@ -39,6 +76,55 @@ class TestRun:
     def test_rejects_unknown_system(self):
         with pytest.raises(SystemExit):
             main(["run", "H100", "resnet18_wrn50", "S1"])
+
+
+class TestSweep:
+    def test_plan_only(self, tiny_spec_path, capsys):
+        assert main(["sweep", str(tiny_spec_path), "--plan"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-tiny" in out
+        assert "distinct streams" in out
+
+    def test_runs_and_writes_outputs(self, tiny_spec_path, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = main([
+            "sweep", str(tiny_spec_path), "--jobs", "2",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Aggregate by (policy, scenario)" in out
+        document = json.loads(
+            (out_dir / "sweep_cli-tiny.json").read_text()
+        )
+        assert len(document["cells"]) == 2
+        assert (out_dir / "sweep_cli-tiny_aggregate.csv").is_file()
+
+    def test_missing_spec_exits_2(self, tmp_path, capsys):
+        assert main(["sweep", str(tmp_path / "nope.toml")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_invalid_spec_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            "[sweep]\nname = 'bad'\n[axes]\nsystems = ['H100']\n"
+            "pairs = ['resnet18_wrn50']\nscenarios = ['S1']\n"
+        )
+        assert main(["sweep", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown system" in err
+
+    def test_invalid_jobs_exits_2(self, tiny_spec_path, capsys):
+        assert main(["sweep", str(tiny_spec_path), "--jobs", "-2"]) == 2
+        assert "jobs must be >= 0" in capsys.readouterr().err
+
+    def test_plan_rejects_invalid_jobs_too(self, tiny_spec_path, capsys):
+        # --plan must not silently price an invalid worker count at 1.
+        code = main([
+            "sweep", str(tiny_spec_path), "--plan", "--jobs", "-5",
+        ])
+        assert code == 2
+        assert "jobs must be >= 0" in capsys.readouterr().err
 
 
 class TestParser:
