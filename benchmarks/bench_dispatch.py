@@ -1,0 +1,88 @@
+"""Dispatch-overhead benchmark: what each execution backend costs.
+
+Runs one small fixed grid through every backend -- serial (the floor),
+the process pool, and the subprocess workers speaking the JSON-lines
+protocol -- asserting the results are bit-identical everywhere, and emits
+``benchmarks/results/BENCH_dispatch.json`` with per-backend wall time and
+the overhead each transport adds over serial (absolute and per shard).
+
+On CI's single/dual-core runners the multi-process backends are *slower*
+than serial on a grid this small (spawn + pretrain-cache misses dominate);
+the benchmark therefore asserts identity and bounded-sanity, and records
+the overhead trajectory rather than enforcing a speedup.
+
+``REPRO_BENCH_QUICK=1`` (CI) shrinks the grid; locally the default grid
+gives steadier numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.parallel import run_cells
+from repro.exec import SystemCell, plan_shards
+from repro.reference import run_digest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+OUTPUT = RESULTS_DIR / "BENCH_dispatch.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+#: (backend label, run_cells kwargs) per transport; two workers keeps the
+#: comparison honest on CI's small runners.
+BACKENDS = (
+    ("serial", {"jobs": 1}),
+    ("process:2", {"jobs": 2, "backend": "process:2"}),
+    ("subprocess:2", {"jobs": 2, "backend": "subprocess:2"}),
+)
+
+
+def bench_grid() -> list[SystemCell]:
+    duration = 60.0 if QUICK else 120.0
+    systems = ("OrinHigh-Ekya", "DaCapo-Spatiotemporal")
+    scenarios = ("S1",) if QUICK else ("S1", "S4")
+    return [
+        SystemCell(system, "resnet18_wrn50", scenario, 0, duration)
+        for scenario in scenarios
+        for system in systems
+    ]
+
+
+def test_dispatch_overhead():
+    cells = bench_grid()
+    num_shards = len(plan_shards(cells, 2))
+
+    measurements: dict[str, dict] = {}
+    digests: dict[str, list[str]] = {}
+    for label, kwargs in BACKENDS:
+        start = time.perf_counter()
+        results = run_cells(cells, **kwargs)
+        wall_s = time.perf_counter() - start
+        measurements[label] = {"wall_s": wall_s}
+        digests[label] = [run_digest(result) for result in results]
+
+    # The contract that makes backends *pluggable*: identical bits
+    # everywhere, so transport choice is purely an operational decision.
+    assert digests["process:2"] == digests["serial"]
+    assert digests["subprocess:2"] == digests["serial"]
+
+    serial_s = measurements["serial"]["wall_s"]
+    for label, entry in measurements.items():
+        overhead = entry["wall_s"] - serial_s
+        entry["overhead_vs_serial_s"] = overhead
+        entry["overhead_per_shard_s"] = overhead / num_shards
+        # Sanity bound, not a perf target: dispatch must never cost an
+        # order of magnitude over doing the work (spawn + warm caches
+        # are seconds, the grid is tens of seconds).
+        assert entry["wall_s"] < serial_s * 10 + 60.0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps({
+        "quick": QUICK,
+        "cells": len(cells),
+        "shards": num_shards,
+        "backends": measurements,
+    }, indent=2) + "\n")

@@ -6,12 +6,21 @@ Subcommands:
 - ``experiment <id>`` -- run one paper artifact and print its report.
 - ``run <system> <pair> <scenario>`` -- run one system and print a summary.
 - ``sweep <spec.toml>`` -- run a declarative fleet sweep (``--plan`` prices
-  it without running; ``--out DIR`` saves JSON/CSV artifacts).
+  it without running; ``--out DIR`` saves JSON/CSV artifacts plus the
+  completion journal ``--resume`` reads to skip already-finished shards).
+- ``worker`` -- (internal) shard worker speaking the JSON-lines protocol
+  on stdio; launched by the subprocess backend, locally or over ssh.
 - ``tune <pair>`` -- offline hyperparameter search (section VI-D).
 
-Configuration errors (unknown names, malformed sweep specs, invalid
-``--jobs`` values) exit with status 2 and a one-line message instead of a
-traceback.
+``--backend serial|process[:N]|subprocess[:N]`` (on ``experiment`` and
+``sweep``; also via ``$REPRO_BACKEND``) selects the execution transport;
+results are bit-identical on every backend at any worker count.
+
+Exit statuses: configuration errors (unknown names, malformed sweep
+specs, invalid ``--jobs``/``--backend`` values) exit 2 with a one-line
+message instead of a traceback; execution failures (a shard that could
+not be completed after the scheduler's bounded retries -- e.g. workers
+kept dying) exit 3, naming the affected cells.
 
 ``--profile`` (on ``experiment`` and ``run``) prints a phase-level
 wall-time breakdown (materialize / pretrain / label / retrain / inference)
@@ -29,6 +38,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro import profiling
@@ -40,8 +50,14 @@ from repro.core import (
 )
 from repro.core.tuning import tune_hyperparameters
 from repro.data.scenarios import SCENARIO_NAMES
-from repro.errors import ConfigurationError
-from repro.experiments import EXPERIMENTS, run_experiment, supports_jobs
+from repro.errors import ConfigurationError, ExecutionError
+from repro.exec import resolve_backend, use_backend
+from repro.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    supports_backend,
+    supports_jobs,
+)
 from repro.models import MODEL_PAIRS
 from repro.sweep import compile_plan, load_spec, run_sweep, write_outputs
 
@@ -67,9 +83,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             )
         else:
             kwargs["jobs"] = args.jobs
+    if args.backend is not None and not supports_backend(args.id):
+        print(
+            f"experiment {args.id!r} does not route through the "
+            "execution backends; running serially",
+            file=sys.stderr,
+        )
     profiler = profiling.enable() if args.profile else None
     try:
-        result = run_experiment(args.id, **kwargs)
+        # The ambient override is how the transport reaches runners that
+        # simply call run_cells(cells, jobs=...): no per-runner plumbing.
+        with use_backend(args.backend) if args.backend else nullcontext():
+            result = run_experiment(args.id, **kwargs)
     finally:
         if profiler is not None:
             profiling.disable()
@@ -107,11 +132,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # invalid --jobs too instead of silently pricing at one worker.
         raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
     if args.plan:
-        print(plan.describe(jobs=jobs or default_jobs()), end="")
+        # Price the plan through the same backend resolution the real
+        # run uses (explicit --backend > ambient REPRO_BACKEND >
+        # default): garbage exits 2 exactly as it would without --plan,
+        # and the printed worker count matches the executed estimate.
+        # Backends construct lazily, so pricing spawns nothing.
+        instance, plan_workers, owned = resolve_backend(
+            args.backend, jobs or default_jobs(), plan.num_cells
+        )
+        if owned:
+            instance.close()
+        print(plan.describe(jobs=plan_workers), end="")
         return 0
     profiler = profiling.enable() if args.profile else None
     try:
-        result = run_sweep(plan, jobs=jobs)
+        result = run_sweep(
+            plan,
+            jobs=jobs,
+            backend=args.backend,
+            out_dir=args.out,
+            resume=args.resume,
+        )
     finally:
         if profiler is not None:
             profiling.disable()
@@ -123,6 +164,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for path in write_outputs(result, args.out):
             print(f"wrote {path}")
     return 0
+
+
+def _cmd_worker(_args: argparse.Namespace) -> int:
+    # Imported lazily: the worker loop owns stdio and is only ever useful
+    # as a child of the subprocess backend (or an ssh wrapper around it).
+    from repro.exec.worker import worker_main
+
+    return worker_main([])
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -156,6 +205,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="print a phase-level wall-time breakdown "
                             "(aggregates worker processes when combined "
                             "with --jobs)")
+    p_exp.add_argument("--backend", default=None, metavar="KIND[:N]",
+                       help="execution backend: serial, process[:N], or "
+                            "subprocess[:N] (results are bit-identical "
+                            "on every backend)")
 
     p_run = sub.add_parser("run", help="run one system on one scenario")
     p_run.add_argument("system", choices=list(SYSTEM_BUILDERS))
@@ -185,6 +238,21 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--plan", action="store_true",
                          help="print the compiled plan and cost estimate "
                               "without running anything")
+    p_sweep.add_argument("--backend", default=None, metavar="KIND[:N]",
+                         help="execution backend: serial, process[:N], or "
+                              "subprocess[:N] (results are bit-identical "
+                              "on every backend)")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="skip shards already recorded in the "
+                              "completion journal under --out DIR "
+                              "(requires --out; the finished document is "
+                              "identical to an uninterrupted run)")
+
+    sub.add_parser(
+        "worker",
+        help="(internal) shard worker speaking the JSON-lines protocol "
+             "on stdio; launched by the subprocess backend",
+    )
 
     p_tune = sub.add_parser("tune", help="offline hyperparameter search")
     p_tune.add_argument("pair", choices=list(MODEL_PAIRS))
@@ -197,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "worker": _cmd_worker,
         "tune": _cmd_tune,
     }
     try:
@@ -206,6 +275,12 @@ def main(argv: list[str] | None = None) -> int:
         # crash: one line on stderr, conventional usage-error status.
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    except ExecutionError as exc:
+        # The configuration was fine but the dispatch layer could not
+        # complete a shard (workers kept dying, protocol fault, injected
+        # abort).  The ShardFailure message names the affected cells.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 3
     except BrokenPipeError:
         # Downstream consumer (head, a pager) closed the pipe mid-report.
         # Repoint stdout at devnull so the interpreter's exit-time flush

@@ -1,219 +1,109 @@
-"""Parallel experiment runner: shard (scenario, seed) work over cores.
+"""Parallel experiment runner: the stable facade over ``repro.exec``.
 
-The experiment grids (6 systems x 6 scenarios x 3 pairs for Figure 9 and
-friends) are embarrassingly parallel: every cell builds its own system from
-a seed and runs it over its own materialized stream, sharing no mutable
-state.  This module executes such grids with a :class:`ProcessPoolExecutor`
-while keeping results *identical* to the serial path:
+Historically this module owned the whole dispatch story -- cell
+dataclasses, stream-signature sharding, and a hard-coded
+``ProcessPoolExecutor``.  That machinery now lives in :mod:`repro.exec`
+as pluggable execution backends (serial / process pool / subprocess
+workers speaking a JSON-lines protocol, ssh-able) behind a retrying
+scheduler; this module keeps the two entry points every experiment calls
+and re-exports the cell/planning names it always provided.
 
-- Cells are described declaratively (:class:`SystemCell` / :class:`Fig2Cell`)
-  and dispatched by module-level workers, so they pickle cleanly.
-- Results come back in submission order regardless of completion order.
-- Each cell seeds its own RNGs exactly as the serial code does, so a cell's
-  :class:`~repro.core.results.RunResult` does not depend on which process
-  ran it, on how many workers there were, or on how cells were sharded.
+Backend selection, in precedence order:
 
-**Sharding.**  Cells are grouped into shards by their stream signature --
-(scenario, seed, duration) -- and each shard runs inside one worker, so the
-36,000-frame stream every cell of the shard consumes is materialized (or
-memmap-opened from the artifact store, :mod:`repro.data.artifacts`) once
-per worker instead of once per cell.  When the grid has fewer distinct
-streams than workers, the largest shards are split so all cores stay busy;
-split shards still share the stream through the store's disk tier.
+1. an explicit ``backend=`` argument (``"serial"``, ``"process[:N]"``,
+   ``"subprocess[:N]"``, or a constructed
+   :class:`~repro.exec.backends.ExecutionBackend`);
+2. an ambient override installed with :func:`repro.exec.use_backend`
+   (what the CLI's ``--backend`` flag does);
+3. the ``REPRO_BACKEND`` environment variable;
+4. the historical default -- serial when ``jobs <= 1`` or the grid has a
+   single cell, the process pool otherwise.
 
-Model pretraining is the per-process fixed cost; before forking, the parent
-warms the in-process (and on-disk, see :mod:`repro.learn.cache`) pretrained
-model caches for every distinct (pair, seed) in the grid, so workers
-inherit warm caches instead of each re-running seconds of SGD.
-
-Two pieces of parent context are threaded into every shard explicitly:
-the active :class:`~repro.numeric.NumericPolicy` (contextvar overrides do
-not survive spawn-started workers) and whether profiling is on -- workers
-then profile their own phases and ship the snapshot back for the parent
-to merge, so ``--profile`` composes with ``--jobs > 1``.
+Whatever the transport, results are **identical** to the serial path:
+cells seed their own RNGs, shards group by stream signature so workers
+share materialized streams, and submission order is restored -- the
+frozen reference digests are verified across every backend.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from repro import profiling
 from repro.core.results import RunResult
-from repro.core.runner import build_fig2_system, build_system, run_on_scenario
 from repro.errors import ConfigurationError
-from repro.learn.student import make_student
-from repro.learn.teacher import make_teacher
-from repro.models.zoo import get_pair
+
+# NOTE: only repro.exec.shard may be imported at module scope here.
+# ``repro.core.__init__`` imports this module, and every ``repro.exec``
+# module imports some ``repro.core`` submodule -- so on a cold
+# ``import repro.exec`` this module executes while ``repro.exec.backends``
+# is still half-initialized.  The backend/scheduler imports therefore
+# happen lazily inside the functions that need them.
+from repro.exec.shard import (
+    Fig2Cell,
+    SystemCell,
+    plan_shards,
+    run_cell as _run_cell,  # noqa: F401  (compat: tests/callers import it)
+    stream_signature,
+    warm_model_caches,
+)
 from repro.numeric import active_policy, use_policy
 
 __all__ = [
     "Fig2Cell",
+    "JOBS_ENV",
     "SystemCell",
     "default_jobs",
     "parallel_map",
     "plan_shards",
+    "positive_int_env",
     "run_cells",
     "stream_signature",
     "warm_model_caches",
 ]
 
+#: Environment variable pinning the default worker count (CI, remote
+#: workers) without per-command ``--jobs`` flags.
+JOBS_ENV = "REPRO_JOBS"
 
-@dataclass(frozen=True)
-class SystemCell:
-    """One grid cell: a Figure-9-style system on one scenario.
 
-    Attributes:
-        system: System name from :data:`repro.core.runner.SYSTEM_BUILDERS`.
-        pair: Model-pair name.
-        scenario: Scenario name (Table II).
-        seed: Model-init and stream seed.
-        duration_s: Stream length override (None = scenario default).
+def positive_int_env(name: str) -> int | None:
+    """``$name`` as a validated positive int; None when unset/empty.
+
+    The shared parser behind every count-like knob (``REPRO_JOBS``, the
+    sweep abort injector): garbage raises :class:`ConfigurationError`
+    with a uniform message instead of silently defaulting.
     """
-
-    system: str
-    pair: str
-    scenario: str
-    seed: int = 0
-    duration_s: float | None = None
-
-
-@dataclass(frozen=True)
-class Fig2Cell:
-    """One Figure-2 cell: frozen student/teacher or idealized Ekya on a GPU.
-
-    Attributes:
-        kind: ``"student"``, ``"teacher"``, or ``"ekya"``.
-        platform: ``"RTX3090"``, ``"OrinHigh"``, or ``"OrinLow"``.
-        pair: Model-pair name.
-        scenario: Scenario name.
-        seed: Stream seed (model init uses the builder default, matching
-            the serial Figure 2 code).
-        duration_s: Stream length override.
-    """
-
-    kind: str
-    platform: str
-    pair: str
-    scenario: str
-    seed: int = 0
-    duration_s: float | None = None
-
-
-_CellTypes = (SystemCell, Fig2Cell)
-
-
-def _run_cell(cell) -> RunResult:
-    """Execute one cell (runs inside worker processes; must stay pickleable)."""
-    if isinstance(cell, SystemCell):
-        system = build_system(cell.system, cell.pair, seed=cell.seed)
-    elif isinstance(cell, Fig2Cell):
-        system = build_fig2_system(cell.kind, cell.platform, cell.pair)
-    else:
-        raise ConfigurationError(f"unknown grid cell type {type(cell)!r}")
-    return run_on_scenario(
-        system, cell.scenario, seed=cell.seed, duration_s=cell.duration_s
-    )
-
-
-def _run_shard(
-    payload: tuple,
-) -> tuple[list[RunResult], dict | None]:
-    """Execute one shard of stream-sharing cells, in order.
-
-    ``payload`` is ``(cells, policy_name, profile)``.  The numeric policy
-    is re-installed explicitly in the worker -- a ``use_policy`` override
-    in the parent is a contextvar and would not survive a spawn-started
-    worker -- so shard results are policy-correct at any worker count.
-
-    The first cell materializes (or memmap-opens) the shard's stream; the
-    rest hit the artifact store's in-process LRU.  When ``profile`` is
-    set, the shard runs under its own profiler and returns the snapshot
-    alongside the results so the parent can aggregate worker phase times
-    (``--profile`` composing with ``--jobs > 1``).
-    """
-    cells, policy_name, profile = payload
-    with use_policy(policy_name):
-        if not profile:
-            return [_run_cell(cell) for cell in cells], None
-        profiler = profiling.enable()
-        try:
-            results = [_run_cell(cell) for cell in cells]
-            return results, profiler.snapshot()
-        finally:
-            profiling.disable()
-
-
-def stream_signature(cell) -> tuple:
-    """The (scenario, seed, duration) key identifying a cell's stream.
-
-    Cells sharing a signature consume the same materialized stream, so the
-    signature is both the sharding key here and the dedup/cost unit the
-    sweep planner (:mod:`repro.sweep.plan`) reports before running a fleet.
-    """
-    return (cell.scenario, cell.seed, cell.duration_s)
-
-
-def plan_shards(
-    cells: Sequence, jobs: int
-) -> list[list[tuple[int, object]]]:
-    """Group (index, cell) pairs into stream-sharing shards.
-
-    Shards are split (largest first) until there is one per worker or
-    nothing splittable remains, so small grids with few distinct streams
-    still use every core.  Splits interleave (evens/odds) rather than
-    halve: grids typically order cells cheap-systems-first within a
-    scenario, and contiguous halves would put every expensive system in
-    one worker.  Result order is restored from the carried indices, so
-    the split pattern never affects output.
-
-    This is exactly the decomposition :func:`run_cells` executes; it is
-    public so planners can estimate materialization counts and worker
-    balance without running anything.
-    """
-    groups: dict[tuple, list[tuple[int, object]]] = {}
-    for index, cell in enumerate(cells):
-        groups.setdefault(stream_signature(cell), []).append((index, cell))
-    shards = list(groups.values())
-    target = min(jobs, len(cells))
-    while len(shards) < target:
-        largest = max(range(len(shards)), key=lambda i: len(shards[i]))
-        if len(shards[largest]) <= 1:
-            break
-        shard = shards.pop(largest)
-        shards.extend([shard[::2], shard[1::2]])
-    return shards
-
-
-def warm_model_caches(cells: Iterable[SystemCell | Fig2Cell]) -> None:
-    """Pretrain every distinct (pair, seed) once in this process.
-
-    Forked workers inherit the warmed ``lru_cache`` entries for free; spawn
-    workers (or separate invocations) hit the on-disk cache instead.  The
-    MX-format arguments do not matter here -- pretrained weights are
-    precision-independent -- so the default-format constructors suffice.
-    """
-    seen: set[tuple[str, int]] = set()
-    for cell in cells:
-        model_seed = cell.seed if isinstance(cell, SystemCell) else 0
-        key = (cell.pair, model_seed)
-        if key in seen:
-            continue
-        seen.add(key)
-        pair = get_pair(cell.pair)
-        make_student(pair.student, seed=model_seed)
-        make_teacher(pair.teacher, seed=model_seed)
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a positive integer, got {raw!r}"
+        )
+    if value < 1:
+        raise ConfigurationError(
+            f"{name} must be a positive integer, got {raw!r}"
+        )
+    return value
 
 
 def default_jobs() -> int:
-    """A sensible worker count: the CPUs this process may actually use.
+    """The default worker count: ``$REPRO_JOBS`` if set, else usable CPUs.
 
-    ``sched_getaffinity`` respects container/cgroup CPU masks, which
+    ``REPRO_JOBS`` must be a positive integer
+    (:class:`ConfigurationError` otherwise); it exists so CI and remote
+    workers can pin parallelism fleet-wide.  The CPU fallback uses
+    ``sched_getaffinity``, which respects container/cgroup CPU masks that
     ``os.cpu_count`` does not; oversubscribing a quota-limited container
     with host-count workers is slower than running serially.
     """
+    pinned = positive_int_env(JOBS_ENV)
+    if pinned is not None:
+        return pinned
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # non-Linux
@@ -221,59 +111,44 @@ def default_jobs() -> int:
 
 
 def run_cells(
-    cells: Sequence[SystemCell | Fig2Cell], jobs: int = 1
+    cells: Sequence[SystemCell | Fig2Cell],
+    jobs: int = 1,
+    backend=None,
 ) -> list[RunResult]:
-    """Run grid cells, serially or across processes; results keep cell order.
+    """Run grid cells on the selected backend; results keep cell order.
 
     Args:
         cells: The grid, in the order results should come back.
-        jobs: Worker processes; 1 runs serially in this process (the exact
-            code path the serial experiments use) and 0 means "all cores"
-            (:func:`default_jobs`).
+        jobs: Worker processes; 1 runs serially in this process and 0
+            means "all cores" (:func:`default_jobs`).  A backend spec
+            carrying its own ``:N`` takes precedence.
+        backend: Optional backend spec string or instance; None consults
+            the ambient selection (see module docstring).
 
     Returns:
-        One :class:`RunResult` per cell, aligned with ``cells``.
+        One :class:`RunResult` per cell, aligned with ``cells`` --
+        bit-identical on every backend at any worker count.
+
+    Raises:
+        ConfigurationError: Invalid jobs/backend/cell types.
+        ShardFailure: A shard could not be completed after the
+            scheduler's bounded retries (e.g. workers kept dying); the
+            failure names the affected cells.
     """
+    from repro.exec.backends import resolve_backend
+    from repro.exec.scheduler import execute_cells
+
     if jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
     if jobs == 0:
         jobs = default_jobs()
     cells = list(cells)
-    for cell in cells:
-        if not isinstance(cell, _CellTypes):
-            raise ConfigurationError(
-                f"unknown grid cell type {type(cell)!r}"
-            )
-    if jobs <= 1 or len(cells) <= 1:
-        # Serial cells still share streams through the artifact store.
-        return [_run_cell(cell) for cell in cells]
-
-    warm_model_caches(cells)
-    shards = plan_shards(cells, jobs)
-    policy_name = active_policy().name
-    profiler = profiling.active()
-    payloads = [
-        (
-            tuple(cell for _, cell in shard),
-            policy_name,
-            profiler is not None,
-        )
-        for shard in shards
-    ]
-    workers = min(jobs, len(shards))
-    results: list[RunResult | None] = [None] * len(cells)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for shard, (outputs, snapshot) in zip(
-            shards, pool.map(_run_shard, payloads, chunksize=1)
-        ):
-            for (index, _), result in zip(shard, outputs):
-                results[index] = result
-            if profiler is not None and snapshot:
-                # Worker phase seconds fold into the parent profile, so
-                # --profile composes with --jobs > 1 (totals become CPU
-                # seconds across processes).
-                profiler.merge(snapshot)
-    return results
+    instance, workers, owned = resolve_backend(backend, jobs, len(cells))
+    try:
+        return execute_cells(cells, backend=instance, workers=workers)
+    finally:
+        if owned:
+            instance.close()
 
 
 def _policy_call(payload: tuple) -> object:
@@ -295,14 +170,27 @@ def parallel_map(
 
     Lightweight experiments (Table II/III rows, the ablation sweeps) fan
     out through this rather than hand-rolling executors; results are
-    identical at any jobs count.  The parent's active numeric policy is
-    re-installed around every mapped call, so policy overrides survive
-    into spawn-started workers exactly as they do for ``run_cells``.
+    identical at any jobs count.  The ambient backend selection applies
+    with one caveat: arbitrary callables cannot cross the JSON shard
+    protocol, so ``subprocess`` degrades to the local process pool here
+    (``serial`` forces in-process, and a ``:N`` pins the worker count).
+    The parent's active numeric policy is re-installed around every
+    mapped call, so policy overrides survive into spawn-started workers
+    exactly as they do for ``run_cells``.
     """
+    from repro.exec.backends import active_backend_spec, parse_backend
+
     if jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
     if jobs == 0:
         jobs = default_jobs()
+    spec = active_backend_spec()
+    if spec is not None:
+        kind, workers = parse_backend(spec)
+        if kind == "serial":
+            jobs = 1
+        elif workers is not None:
+            jobs = workers
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]

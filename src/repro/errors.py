@@ -25,6 +25,21 @@ class ScheduleError(ReproError):
     """The scheduler was driven into an invalid state."""
 
 
+class ExecutionError(ReproError):
+    """A dispatch-layer failure: worker death, transport or protocol fault.
+
+    Distinct from :class:`ConfigurationError` -- the configuration was
+    fine, the execution environment failed -- so callers (the CLI) can map
+    it to a different exit status.  The concrete subtype every backend
+    raises is :class:`repro.exec.ShardFailure`, which names the cells
+    whose results are missing.
+    """
+
+
+class ProtocolError(ExecutionError):
+    """A worker spoke an invalid or incompatible shard-protocol message."""
+
+
 class ModelSpecError(ReproError):
     """A DNN architectural spec is malformed or unknown."""
 

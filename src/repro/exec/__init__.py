@@ -1,0 +1,94 @@
+"""Pluggable execution: shards, transports, scheduling, and resume.
+
+The dispatch layer extracted from ``core/parallel.py``: grids decompose
+into stream-sharing :class:`~repro.exec.shard.ShardSpec`\\ s, an
+:class:`~repro.exec.backends.ExecutionBackend` runs them -- in-process
+(:class:`SerialBackend`), on the historical fork pool
+(:class:`ProcessPoolBackend`), or over the versioned JSON-lines stdio
+protocol to ``python -m repro worker`` children
+(:class:`SubprocessWorkerBackend`, ssh-able via ``$REPRO_WORKER_CMD``) --
+and the :class:`~repro.exec.scheduler.Scheduler` adds bounded per-shard
+retry with failed-worker exclusion plus the :class:`SweepJournal` that
+backs ``repro sweep --resume``.
+
+Every backend is bit-identical at any worker count: cells seed their own
+RNGs and shard payloads carry the numeric policy and cache root
+explicitly, so *where* a shard runs never changes *what* it computes --
+the frozen reference digests are checked across all three transports.
+
+``run_cells``/``parallel_map`` (:mod:`repro.core.parallel`) remain the
+stable entry points; they delegate here, selecting a backend from an
+explicit argument, a :func:`use_backend` override, or ``$REPRO_BACKEND``.
+"""
+
+from repro.exec.backends import (
+    BACKEND_ENV,
+    BACKEND_KINDS,
+    SHARD_TIMEOUT_ENV,
+    WORKER_CMD_ENV,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SubprocessWorkerBackend,
+    active_backend_spec,
+    make_backend,
+    parse_backend,
+    resolve_backend,
+    use_backend,
+)
+from repro.exec.scheduler import (
+    DEFAULT_MAX_ATTEMPTS,
+    Scheduler,
+    SweepJournal,
+    execute_cells,
+)
+from repro.exec.shard import (
+    FAULT_TOKEN_ENV,
+    Fig2Cell,
+    ShardFailure,
+    ShardResult,
+    ShardSpec,
+    SystemCell,
+    cell_key,
+    cell_label,
+    make_shard_specs,
+    plan_shards,
+    run_cell,
+    run_shard_cells,
+    stream_signature,
+    warm_model_caches,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_KINDS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FAULT_TOKEN_ENV",
+    "ExecutionBackend",
+    "Fig2Cell",
+    "ProcessPoolBackend",
+    "SHARD_TIMEOUT_ENV",
+    "Scheduler",
+    "SerialBackend",
+    "ShardFailure",
+    "ShardResult",
+    "ShardSpec",
+    "SubprocessWorkerBackend",
+    "SweepJournal",
+    "SystemCell",
+    "WORKER_CMD_ENV",
+    "active_backend_spec",
+    "cell_key",
+    "cell_label",
+    "execute_cells",
+    "make_backend",
+    "make_shard_specs",
+    "parse_backend",
+    "plan_shards",
+    "resolve_backend",
+    "run_cell",
+    "run_shard_cells",
+    "stream_signature",
+    "use_backend",
+    "warm_model_caches",
+]

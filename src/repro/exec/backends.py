@@ -1,0 +1,681 @@
+"""Execution backends: where a planned shard actually runs.
+
+An :class:`ExecutionBackend` takes a batch of
+:class:`~repro.exec.shard.ShardSpec`\\ s and returns one outcome per spec
+-- a :class:`~repro.exec.shard.ShardResult` or a
+:class:`~repro.exec.shard.ShardFailure` *value* (never an opaque transport
+exception), aligned with the input.  Returning failures as values is what
+lets the :class:`~repro.exec.scheduler.Scheduler` retry individual shards
+without tearing down the batch.
+
+Three transports:
+
+- :class:`SerialBackend` -- in-process, the exact code path the serial
+  experiments have always used.
+- :class:`ProcessPoolBackend` -- the historical ``--jobs N`` process pool,
+  moved here from ``core/parallel.py``; ``BrokenProcessPool`` is mapped to
+  per-shard failures and the pool is rebuilt for the next round.
+- :class:`SubprocessWorkerBackend` -- long-lived ``python -m repro worker``
+  children speaking the JSON-lines shard protocol over stdio.  Dead
+  workers are retired and replaced (bounded respawn budget); the launch
+  command is overridable (``$REPRO_WORKER_CMD``), which is all an
+  ``ssh host python -m repro worker`` deployment needs.
+
+Backend selection is ambient, mirroring the numeric policy: an explicit
+argument wins, then a :func:`use_backend` override, then ``$REPRO_BACKEND``,
+then the historical default (serial at ``jobs <= 1``, the process pool
+above).  Every backend produces bit-identical results at any worker count
+-- cells seed their own RNGs, so *where* a shard runs can never change
+*what* it computes.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shlex
+import subprocess
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.exec import protocol
+from repro.exec.shard import (
+    ShardFailure,
+    ShardResult,
+    ShardSpec,
+    cell_label,
+    consume_fault_token,
+    run_cell,
+    run_shard_cells,
+)
+from repro.numeric import use_policy
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_KINDS",
+    "WORKER_CMD_ENV",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SubprocessWorkerBackend",
+    "active_backend_spec",
+    "make_backend",
+    "parse_backend",
+    "use_backend",
+]
+
+#: Environment variable selecting the ambient backend spec
+#: (``serial`` | ``process[:N]`` | ``subprocess[:N]``).
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Environment variable replacing the worker launch command (shlex-split);
+#: e.g. ``REPRO_WORKER_CMD="ssh edge-host python -m repro worker"``.
+WORKER_CMD_ENV = "REPRO_WORKER_CMD"
+
+#: Environment variable bounding how long one worker may sit silent on a
+#: single shard (seconds; unset = no watchdog).  A worker past the
+#: deadline is killed, which converts a *hang* -- a wedged ssh channel, a
+#: stalled remote host -- into the worker-death failure the scheduler
+#: already knows how to retry.
+SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+
+#: The recognized backend kinds, in documentation order.
+BACKEND_KINDS = ("serial", "process", "subprocess")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The contract every transport implements.
+
+    ``run`` executes a batch of shards and returns outcomes aligned with
+    the input -- a :class:`ShardResult` per success, a :class:`ShardFailure`
+    *value* per failure.  ``excluded`` names workers the scheduler has
+    seen fail; transports with identifiable workers must not hand them
+    further shards.  ``close`` releases pools/children and must be
+    idempotent.
+    """
+
+    name: str
+
+    def run(
+        self,
+        specs: Sequence[ShardSpec],
+        excluded: frozenset[str] = frozenset(),
+    ) -> list:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class SerialBackend:
+    """Run shards in this process -- the historical serial code path.
+
+    The ambient profiler (if any) records phases directly, so shard
+    results never carry snapshots; exceptions propagate exactly as the
+    serial experiments have always surfaced them.
+    """
+
+    name = "serial"
+
+    def run(
+        self,
+        specs: Sequence[ShardSpec],
+        excluded: frozenset[str] = frozenset(),
+    ) -> list:
+        outcomes = []
+        for spec in specs:
+            with use_policy(spec.policy):
+                results = tuple(run_cell(cell) for cell in spec.cells)
+            outcomes.append(ShardResult(key=spec.key, results=results))
+        return outcomes
+
+    def close(self) -> None:
+        pass
+
+
+def _pool_run_shard(payload: tuple) -> tuple:
+    """Pool-worker entry point (module-level so it pickles)."""
+    consume_fault_token()
+    cells, policy_name, profile = payload
+    return run_shard_cells(cells, policy_name, profile)
+
+
+class ProcessPoolBackend:
+    """The historical ``--jobs N`` pool, with typed per-shard failure.
+
+    A dying worker breaks a ``ProcessPoolExecutor`` wholesale: every
+    pending future raises ``BrokenProcessPool``.  Those shards come back
+    as :class:`ShardFailure` values (naming their cells) and the broken
+    pool is discarded, so the scheduler's next attempt runs on a fresh
+    one.  Pool workers are anonymous, so ``excluded`` has nothing to pin.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"process backend needs >= 1 worker, got {workers}"
+            )
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def run(
+        self,
+        specs: Sequence[ShardSpec],
+        excluded: frozenset[str] = frozenset(),
+    ) -> list:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        futures = [
+            self._pool.submit(
+                _pool_run_shard, (spec.cells, spec.policy, spec.profile)
+            )
+            for spec in specs
+        ]
+        outcomes = []
+        broken = False
+        for spec, future in zip(specs, futures):
+            try:
+                results, snapshot = future.result()
+            except BrokenProcessPool as exc:
+                broken = True
+                outcomes.append(
+                    ShardFailure(
+                        "a pool worker process died executing the shard",
+                        shard_key=spec.key,
+                        cells=tuple(cell_label(c) for c in spec.cells),
+                        cause=type(exc).__name__,
+                    )
+                )
+            except Exception as exc:
+                # A *cell* raised inside a healthy worker: deterministic,
+                # so recomputing it would reproduce the same exception.
+                # The (unpickled) original rides along so the scheduler
+                # can re-raise it -- callers see the same exception type
+                # the serial path has always produced.
+                outcomes.append(
+                    ShardFailure(
+                        "shard raised inside a pool worker",
+                        shard_key=spec.key,
+                        cells=tuple(cell_label(c) for c in spec.cells),
+                        cause=f"{type(exc).__name__}: {exc}",
+                        retriable=False,
+                        cause_exception=exc,
+                    )
+                )
+            else:
+                outcomes.append(
+                    ShardResult(
+                        key=spec.key,
+                        results=tuple(results),
+                        profile=snapshot,
+                    )
+                )
+        if broken:
+            self.close()
+        return outcomes
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+def default_worker_command() -> list[str]:
+    """The shard-worker launch command (``$REPRO_WORKER_CMD`` overrides).
+
+    The override is how the same backend dispatches over a remote
+    transport: ``REPRO_WORKER_CMD="ssh host python -m repro worker"``
+    gives every worker slot a remote child speaking the identical
+    protocol over the ssh-forwarded stdio.
+    """
+    override = os.environ.get(WORKER_CMD_ENV, "").strip()
+    if override:
+        return shlex.split(override)
+    return [sys.executable, "-m", "repro", "worker"]
+
+
+def _worker_env() -> dict[str, str]:
+    """Child environment: inherit, plus make ``repro`` importable."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    current = env.get("PYTHONPATH", "")
+    if src not in current.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src + os.pathsep + current if current else src
+        )
+    return env
+
+
+def _shard_timeout_from_env() -> float | None:
+    raw = os.environ.get(SHARD_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{SHARD_TIMEOUT_ENV} must be a positive number of seconds, "
+            f"got {raw!r}"
+        )
+    if timeout <= 0:
+        raise ConfigurationError(
+            f"{SHARD_TIMEOUT_ENV} must be a positive number of seconds, "
+            f"got {raw!r}"
+        )
+    return timeout
+
+
+class _WorkerHandle:
+    """One live worker child plus its protocol channel."""
+
+    def __init__(
+        self,
+        slot: int,
+        command: list[str],
+        timeout_s: float | None = None,
+    ) -> None:
+        self.slot = slot
+        self.timeout_s = timeout_s
+        try:
+            self.proc = subprocess.Popen(
+                command,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                text=True,
+                env=_worker_env(),
+            )
+        except OSError as exc:
+            raise ShardFailure(
+                f"could not launch worker command {command!r}",
+                cause=str(exc),
+            )
+        self.id = f"w{slot}:pid{self.proc.pid}"
+        try:
+            hello = self._read_reply()
+        except (ProtocolError, OSError) as exc:
+            # An ssh banner/MOTD or a version-skewed peer on the line:
+            # as much a failed handshake as silence, and it must surface
+            # as the typed failure serve() knows how to absorb.
+            self.kill()
+            raise ShardFailure(
+                "worker did not complete the protocol handshake",
+                worker=self.id,
+                cause=str(exc),
+            )
+        if hello is None or hello.get("kind") != "hello":
+            self.kill()
+            raise ShardFailure(
+                "worker did not complete the protocol handshake",
+                worker=self.id,
+            )
+
+    def _read_reply(self) -> dict | None:
+        """A blocking protocol read, bounded by the shard watchdog.
+
+        With a timeout armed, a worker that goes *silent* (wedged ssh
+        channel, stalled host) is killed at the deadline; the reader then
+        unblocks with EOF and the normal worker-death handling -- typed
+        failure, retirement, retry elsewhere -- takes over.
+        """
+        if self.timeout_s is None:
+            return protocol.read_message(self.proc.stdout)
+        watchdog = threading.Timer(self.timeout_s, self.kill)
+        watchdog.daemon = True
+        watchdog.start()
+        try:
+            return protocol.read_message(self.proc.stdout)
+        finally:
+            watchdog.cancel()
+
+    def run_shard(self, spec: ShardSpec) -> ShardResult:
+        cells = tuple(cell_label(c) for c in spec.cells)
+        try:
+            protocol.write_message(
+                self.proc.stdin, protocol.encode_shard_request(spec)
+            )
+            message = self._read_reply()
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardFailure(
+                "worker pipe broke mid-shard",
+                shard_key=spec.key,
+                cells=cells,
+                worker=self.id,
+                cause=str(exc),
+            )
+        except ProtocolError as exc:
+            raise ShardFailure(
+                "worker spoke an invalid protocol message",
+                shard_key=spec.key,
+                cells=cells,
+                worker=self.id,
+                cause=str(exc),
+            )
+        if message is None:
+            code = self.proc.poll()
+            raise ShardFailure(
+                f"worker exited mid-shard (exit code {code})",
+                shard_key=spec.key,
+                cells=cells,
+                worker=self.id,
+            )
+        if message.get("kind") == "error":
+            # The worker is healthy -- it replied in protocol -- and the
+            # shard's exception is deterministic: not a transport fault.
+            raise ShardFailure(
+                "shard raised inside the worker",
+                shard_key=spec.key,
+                cells=cells,
+                worker=self.id,
+                cause=str(message.get("error")),
+                retriable=False,
+            )
+        if message.get("kind") != "result" or message.get("id") != spec.key:
+            raise ShardFailure(
+                "worker replied out of protocol "
+                f"(kind={message.get('kind')!r}, id={message.get('id')!r})",
+                shard_key=spec.key,
+                cells=cells,
+                worker=self.id,
+            )
+        try:
+            decoded = protocol.decode_shard_result(message)
+        except ProtocolError as exc:
+            raise ShardFailure(
+                "worker result payload undecodable",
+                shard_key=spec.key,
+                cells=cells,
+                worker=self.id,
+                cause=str(exc),
+            )
+        if len(decoded.results) != len(spec.cells):
+            # A truncated reply must never be journaled as a completed
+            # shard; treat it as out-of-protocol and let the retry path
+            # recompute the shard whole.
+            raise ShardFailure(
+                f"worker returned {len(decoded.results)} results for a "
+                f"{len(spec.cells)}-cell shard",
+                shard_key=spec.key,
+                cells=cells,
+                worker=self.id,
+            )
+        return decoded
+
+    def shutdown(self) -> None:
+        """Ask the worker to drain and exit; kill it if it lingers."""
+        try:
+            protocol.write_message(
+                self.proc.stdin,
+                {"v": protocol.PROTOCOL_VERSION, "kind": "shutdown"},
+            )
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            self.kill()
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+        self.proc.wait()
+
+
+class SubprocessWorkerBackend:
+    """Dispatch shards to ``python -m repro worker`` children over stdio.
+
+    Workers are spawned lazily (one per slot, up to ``workers``) and kept
+    alive across batches; each serves one shard at a time over the
+    JSON-lines protocol.  A worker that dies or mis-speaks is retired and
+    its slot respawned on next use, up to a bounded respawn budget --
+    after that the slot reports failures instead of spinning up children
+    forever.  Shard payloads carry policy and cache root explicitly, so a
+    worker needs no ambient state beyond an importable ``repro``; point
+    ``command`` (or ``$REPRO_WORKER_CMD``) at ``ssh host python -m repro
+    worker`` and the same backend runs multi-node.
+    """
+
+    name = "subprocess"
+
+    def __init__(
+        self,
+        workers: int,
+        command: list[str] | None = None,
+        max_respawns: int | None = None,
+        shard_timeout_s: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"subprocess backend needs >= 1 worker, got {workers}"
+            )
+        self.workers = workers
+        self.command = list(command) if command else None
+        self.max_respawns = (
+            max_respawns if max_respawns is not None else workers + 4
+        )
+        self.shard_timeout_s = (
+            shard_timeout_s
+            if shard_timeout_s is not None
+            else _shard_timeout_from_env()
+        )
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._spawned = 0
+        self._lock = threading.Lock()
+
+    def _spawn(self, slot: int) -> _WorkerHandle | None:
+        """A live handle for ``slot``, or None once the budget is spent."""
+        with self._lock:
+            handle = self._handles.get(slot)
+            if handle is not None and handle.proc.poll() is None:
+                return handle
+            if self._spawned >= self.workers + self.max_respawns:
+                return None
+            self._spawned += 1
+        command = self.command or default_worker_command()
+        handle = _WorkerHandle(slot, command, self.shard_timeout_s)
+        with self._lock:
+            self._handles[slot] = handle
+        return handle
+
+    def _retire(self, slot: int) -> None:
+        with self._lock:
+            handle = self._handles.pop(slot, None)
+        if handle is not None:
+            handle.kill()
+
+    def run(
+        self,
+        specs: Sequence[ShardSpec],
+        excluded: frozenset[str] = frozenset(),
+    ) -> list:
+        if not specs:
+            return []
+        # Workers the scheduler has seen fail never get another shard.
+        for slot, handle in list(self._handles.items()):
+            if handle.id in excluded:
+                self._retire(slot)
+        outcomes: list = [None] * len(specs)
+        work: queue.SimpleQueue = queue.SimpleQueue()
+        for item in enumerate(specs):
+            work.put(item)
+        slots = min(self.workers, len(specs))
+        for _ in range(slots):
+            work.put(None)
+
+        def serve(slot: int) -> None:
+            while True:
+                item = work.get()
+                if item is None:
+                    return
+                index, spec = item
+                try:
+                    handle = self._spawn(slot)
+                except ShardFailure as failure:
+                    # Spawn/handshake failures happen before the shard is
+                    # dispatched; still name the cells left unserved.
+                    outcomes[index] = ShardFailure(
+                        failure.message,
+                        shard_key=spec.key,
+                        cells=tuple(cell_label(c) for c in spec.cells),
+                        worker=failure.worker,
+                        cause=failure.cause,
+                    )
+                    continue
+                if handle is None:
+                    outcomes[index] = ShardFailure(
+                        "no live workers remaining "
+                        f"(respawn budget {self.max_respawns} exhausted)",
+                        shard_key=spec.key,
+                        cells=tuple(cell_label(c) for c in spec.cells),
+                    )
+                    continue
+                try:
+                    outcomes[index] = handle.run_shard(spec)
+                except ShardFailure as failure:
+                    outcomes[index] = failure
+                    if failure.retriable:
+                        # Transport fault: the worker is dead or talking
+                        # garbage.  A non-retriable failure came from a
+                        # healthy worker that keeps serving.
+                        self._retire(slot)
+
+        threads = [
+            threading.Thread(target=serve, args=(slot,), daemon=True)
+            for slot in range(slots)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return outcomes
+
+    def close(self) -> None:
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            handle.shutdown()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def parse_backend(spec: str) -> tuple[str, int | None]:
+    """``"kind[:N]"`` -> ``(kind, workers-or-None)``; validated.
+
+    ``serial`` takes no worker count; ``process``/``subprocess`` accept an
+    optional positive ``:N`` (otherwise the caller's ``jobs`` decides).
+    """
+    if not isinstance(spec, str):
+        raise ConfigurationError(f"backend spec must be a string, got {spec!r}")
+    kind, sep, count = spec.strip().lower().partition(":")
+    if kind not in BACKEND_KINDS:
+        raise ConfigurationError(
+            f"unknown backend {kind!r}; known: {', '.join(BACKEND_KINDS)}"
+        )
+    if not sep:
+        return kind, None
+    if kind == "serial":
+        raise ConfigurationError(
+            "the serial backend takes no worker count"
+        )
+    try:
+        workers = int(count)
+    except ValueError:
+        raise ConfigurationError(
+            f"backend worker count must be an integer, got {count!r}"
+        )
+    if workers < 1:
+        raise ConfigurationError(
+            f"backend worker count must be >= 1, got {workers}"
+        )
+    return kind, workers
+
+
+def make_backend(spec: str, default_workers: int = 1) -> ExecutionBackend:
+    """Instantiate a backend from ``"kind[:N]"``.
+
+    ``default_workers`` (typically the caller's resolved ``jobs``) fills
+    in when the spec carries no ``:N`` of its own.
+    """
+    kind, workers = parse_backend(spec)
+    if workers is None:
+        workers = max(1, default_workers)
+    if kind == "serial":
+        return SerialBackend()
+    if kind == "process":
+        return ProcessPoolBackend(workers)
+    return SubprocessWorkerBackend(workers)
+
+
+def resolve_backend(backend, jobs: int, num_cells: int):
+    """Apply the selection precedence once, for every entry point.
+
+    Precedence: explicit ``backend`` (spec string or instance) >
+    :func:`use_backend` override > ``$REPRO_BACKEND`` > the historical
+    default (serial at ``jobs <= 1`` or a single-cell grid, the local
+    process pool above).  Returns ``(instance, planning worker count,
+    owned)`` -- ``owned`` tells the caller whether it must ``close()``
+    the instance (specs are instantiated here; caller-constructed
+    instances stay the caller's to manage).
+    """
+    spec = backend if backend is not None else active_backend_spec()
+    if spec is None:
+        spec = "serial" if jobs <= 1 or num_cells <= 1 else "process"
+    if isinstance(spec, str):
+        instance = make_backend(spec, default_workers=jobs)
+        owned = True
+    else:
+        instance = spec
+        owned = False
+    workers = getattr(instance, "workers", 1)
+    return instance, max(1, workers), owned
+
+
+_override: ContextVar[str | None] = ContextVar(
+    "repro_exec_backend", default=None
+)
+
+
+def active_backend_spec() -> str | None:
+    """The ambient backend spec: override > ``$REPRO_BACKEND`` > None.
+
+    None means "no preference": ``run_cells`` keeps its historical rule
+    (serial at ``jobs <= 1``, the process pool above).
+    """
+    override = _override.get()
+    if override is not None:
+        return override
+    env = os.environ.get(BACKEND_ENV, "").strip()
+    if env:
+        parse_backend(env)  # fail fast on garbage in the environment
+        return env
+    return None
+
+
+@contextmanager
+def use_backend(spec: str):
+    """Force a backend spec for the dynamic extent of the ``with`` block.
+
+    The CLI's ``--backend`` flag installs one of these around the whole
+    command, so experiment runners that simply call ``run_cells(cells,
+    jobs=...)`` pick the transport up ambiently -- no per-runner plumbing.
+    """
+    parse_backend(spec)
+    token = _override.set(spec)
+    try:
+        yield spec
+    finally:
+        _override.reset(token)

@@ -1,0 +1,303 @@
+"""The versioned JSON-lines shard protocol spoken between parent and worker.
+
+One message per line, UTF-8 JSON, over any byte-stream transport -- the
+:class:`~repro.exec.backends.SubprocessWorkerBackend` uses local pipes, and
+because shard payloads carry their numeric policy and cache root explicitly
+(and the artifact store's content-addressed disk tier makes streams
+location-transparent on a shared filesystem), the identical byte stream
+works over ``ssh host python -m repro worker``.
+
+Message kinds (every message carries ``"v": PROTOCOL_VERSION``):
+
+- ``hello``    worker -> parent, once at startup: ``{pid}``.  The parent
+  rejects a version mismatch before dispatching anything.
+- ``shard``    parent -> worker: ``{id, cells, policy, profile,
+  cache_root}``.
+- ``result``   worker -> parent: ``{id, results, profile}``.
+- ``error``    worker -> parent: the shard raised; ``{id, error,
+  traceback}``.  The worker stays alive and keeps serving.
+- ``shutdown`` parent -> worker: drain and exit 0.
+
+Bit-identity contract: :func:`encode_result` / :func:`decode_result` must
+round-trip a :class:`~repro.core.results.RunResult` *exactly* -- the frozen
+reference digests are checked against decoded results.  Arrays therefore
+ship as base64 raw bytes tagged with dtype and shape (never as JSON number
+lists, whose parse would be lossy for exotic dtypes and 10x the size), and
+scalar floats ride as plain JSON numbers, which Python serializes via
+``repr`` and re-parses to the identical double.
+
+Payload encoding tolerates numpy scalars (``np.float64``/``np.int64``/
+``np.bool_`` leak easily into cell fields built from numpy-derived
+sweeps); they are coerced to the equivalent Python scalars on encode, so a
+round-tripped cell compares equal to one built from Python literals.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import IO
+
+import numpy as np
+
+from repro.core.phases import PhaseKind, PhaseRecord
+from repro.core.results import RunResult
+from repro.errors import ProtocolError
+from repro.exec.shard import Fig2Cell, ShardResult, ShardSpec, SystemCell
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "decode_cell",
+    "decode_message",
+    "decode_result",
+    "decode_shard_result",
+    "decode_shard_spec",
+    "encode_cell",
+    "encode_message",
+    "encode_result",
+    "encode_shard_request",
+    "encode_shard_result",
+    "read_message",
+    "write_message",
+]
+
+#: Bump on any incompatible message-shape change; parent and worker refuse
+#: to talk across versions.
+PROTOCOL_VERSION = 1
+
+
+class _PayloadEncoder(json.JSONEncoder):
+    """JSON encoder accepting the numpy scalars that leak into payloads."""
+
+    def default(self, obj):
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        return super().default(obj)
+
+
+def _encode_array(array: np.ndarray) -> dict:
+    """Base64 raw bytes + dtype + shape: exact and compact."""
+    array = np.ascontiguousarray(array)
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(payload: dict) -> np.ndarray:
+    return np.frombuffer(
+        base64.b64decode(payload["data"]), dtype=np.dtype(payload["dtype"])
+    ).reshape(payload["shape"])
+
+
+def encode_result(result: RunResult) -> dict:
+    """A :class:`RunResult` as a JSON-safe dict (bit-exact round trip)."""
+    return {
+        "system": result.system,
+        "scenario": result.scenario,
+        "pair": result.pair,
+        "times": _encode_array(np.asarray(result.times)),
+        "correct": _encode_array(np.asarray(result.correct)),
+        "dropped": _encode_array(np.asarray(result.dropped)),
+        "phases": [
+            {
+                "kind": phase.kind.value,
+                "start_s": float(phase.start_s),
+                "end_s": float(phase.end_s),
+                "samples": int(phase.samples),
+                "drift_detected": bool(phase.drift_detected),
+            }
+            for phase in result.phases
+        ],
+        "duration_s": float(result.duration_s),
+        "energy_j": float(result.energy_j),
+        "average_power_w": float(result.average_power_w),
+    }
+
+
+def decode_result(payload: dict) -> RunResult:
+    """The inverse of :func:`encode_result`."""
+    try:
+        return RunResult(
+            system=payload["system"],
+            scenario=payload["scenario"],
+            pair=payload["pair"],
+            times=_decode_array(payload["times"]),
+            correct=_decode_array(payload["correct"]),
+            dropped=_decode_array(payload["dropped"]),
+            phases=tuple(
+                PhaseRecord(
+                    kind=PhaseKind(phase["kind"]),
+                    start_s=phase["start_s"],
+                    end_s=phase["end_s"],
+                    samples=phase["samples"],
+                    drift_detected=phase["drift_detected"],
+                )
+                for phase in payload["phases"]
+            ),
+            duration_s=payload["duration_s"],
+            energy_j=payload["energy_j"],
+            average_power_w=payload["average_power_w"],
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"malformed result payload: {exc}")
+
+
+def encode_cell(cell) -> dict:
+    """A grid cell as a JSON-safe dict (numpy scalars coerced)."""
+    if isinstance(cell, Fig2Cell):
+        return {
+            "type": "fig2",
+            "kind": cell.kind,
+            "platform": cell.platform,
+            "pair": cell.pair,
+            "scenario": cell.scenario,
+            "seed": int(cell.seed),
+            "duration_s": (
+                None if cell.duration_s is None else float(cell.duration_s)
+            ),
+        }
+    if isinstance(cell, SystemCell):
+        return {
+            "type": "system",
+            "system": cell.system,
+            "pair": cell.pair,
+            "scenario": cell.scenario,
+            "seed": int(cell.seed),
+            "duration_s": (
+                None if cell.duration_s is None else float(cell.duration_s)
+            ),
+        }
+    raise ProtocolError(f"unknown grid cell type {type(cell)!r}")
+
+
+def decode_cell(payload: dict):
+    """The inverse of :func:`encode_cell`."""
+    try:
+        kind = payload["type"]
+        if kind == "fig2":
+            return Fig2Cell(
+                kind=payload["kind"],
+                platform=payload["platform"],
+                pair=payload["pair"],
+                scenario=payload["scenario"],
+                seed=payload["seed"],
+                duration_s=payload["duration_s"],
+            )
+        if kind == "system":
+            return SystemCell(
+                system=payload["system"],
+                pair=payload["pair"],
+                scenario=payload["scenario"],
+                seed=payload["seed"],
+                duration_s=payload["duration_s"],
+            )
+    except KeyError as exc:
+        raise ProtocolError(f"malformed cell payload: missing {exc}")
+    raise ProtocolError(f"unknown cell type {kind!r}")
+
+
+def encode_shard_request(spec: ShardSpec) -> dict:
+    """The ``shard`` message dispatching one :class:`ShardSpec`."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "shard",
+        "id": spec.key,
+        "cells": [encode_cell(cell) for cell in spec.cells],
+        "policy": spec.policy,
+        "profile": bool(spec.profile),
+        "cache_root": spec.cache_root,
+    }
+
+
+def decode_shard_spec(message: dict) -> ShardSpec:
+    """A worker-side :class:`ShardSpec` from a ``shard`` message.
+
+    Worker-side indices are synthetic (the parent keeps the real grid
+    positions); only identity, cells, and execution context cross the
+    wire.
+    """
+    cells = tuple(decode_cell(entry) for entry in message.get("cells", ()))
+    return ShardSpec(
+        key=str(message.get("id", "")),
+        cells=cells,
+        indices=tuple(range(len(cells))),
+        policy=str(message.get("policy", "")),
+        profile=bool(message.get("profile", False)),
+        cache_root=message.get("cache_root"),
+    )
+
+
+def encode_shard_result(
+    key: str, results, profile: dict | None
+) -> dict:
+    """The ``result`` message for one completed shard."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "kind": "result",
+        "id": key,
+        "results": [encode_result(result) for result in results],
+        "profile": profile,
+    }
+
+
+def decode_shard_result(message: dict) -> ShardResult:
+    """A parent-side :class:`ShardResult` from a ``result`` message."""
+    return ShardResult(
+        key=str(message.get("id", "")),
+        results=tuple(
+            decode_result(entry) for entry in message.get("results", ())
+        ),
+        profile=message.get("profile"),
+    )
+
+
+def encode_message(message: dict) -> str:
+    """One protocol message as a single JSON line (no embedded newlines)."""
+    return json.dumps(
+        message, cls=_PayloadEncoder, separators=(",", ":")
+    )
+
+
+def decode_message(line: str) -> dict:
+    """Parse and version-check one protocol line."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"undecodable protocol line: {exc}")
+    if not isinstance(message, dict) or "kind" not in message:
+        raise ProtocolError("protocol message must be an object with 'kind'")
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this process speaks {PROTOCOL_VERSION}"
+        )
+    return message
+
+
+def write_message(stream: IO[str], message: dict) -> None:
+    """Write one message line and flush (pipes are request/response)."""
+    stream.write(encode_message(message) + "\n")
+    stream.flush()
+
+
+def read_message(stream: IO[str]) -> dict | None:
+    """Read the next message line; None only on true EOF.
+
+    Blank lines are skipped, not conflated with EOF: an ssh-wrapped
+    channel can emit empty keepalive lines mid-conversation, and
+    misreading one as "worker exited" would retire a healthy worker.
+    """
+    while True:
+        line = stream.readline()
+        if not line:
+            return None
+        line = line.strip()
+        if line:
+            return decode_message(line)

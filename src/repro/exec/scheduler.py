@@ -1,0 +1,293 @@
+"""The scheduler: bounded per-shard retry, completion journal, merge.
+
+Layered on any :class:`~repro.exec.backends.ExecutionBackend`:
+
+- **Retry.**  A shard whose outcome is a
+  :class:`~repro.exec.shard.ShardFailure` is resubmitted (fresh pool /
+  replacement worker) up to :data:`DEFAULT_MAX_ATTEMPTS` times; workers
+  observed failing are excluded from later attempts.  Retrying is *safe*
+  because shard execution is deterministic -- a retried shard reproduces
+  the original results bit-identically -- and only when every attempt is
+  spent does the typed failure propagate, naming the cells that are
+  missing.
+- **Journal.**  :class:`SweepJournal` appends one JSON line per completed
+  shard (cell keys + bit-exact encoded results) under the sweep's output
+  directory.  ``repro sweep --resume`` reloads it, skips every finished
+  cell, and re-merges the decoded results into the final document --
+  identical to an uninterrupted run.  Entries are keyed per *cell* (pure
+  content, no worker count), so a journal written at ``--jobs 8`` resumes
+  correctly at ``--jobs 1``.
+
+:func:`execute_cells` is the one engine everything routes through:
+``run_cells``, the figure experiments behind it, and ``run_sweep`` -- it
+plans shards, dispatches through the scheduler, restores submission
+order, and folds worker profile snapshots into the parent's profiler.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro import profiling
+from repro.cache import CACHE_ENV
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+from repro.exec import protocol
+from repro.exec.backends import ExecutionBackend
+from repro.exec.shard import (
+    CELL_TYPES,
+    ShardFailure,
+    ShardResult,
+    ShardSpec,
+    cell_key,
+    make_shard_specs,
+    warm_model_caches,
+)
+from repro.numeric import active_policy
+
+__all__ = [
+    "DEFAULT_MAX_ATTEMPTS",
+    "JOURNAL_VERSION",
+    "Scheduler",
+    "SweepJournal",
+    "execute_cells",
+]
+
+#: Times a shard may be attempted before its failure propagates.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Schema version of the journal file.
+JOURNAL_VERSION = 1
+
+
+class Scheduler:
+    """Run shard specs through a backend with bounded per-shard retry.
+
+    Args:
+        backend: The transport executing shards.
+        max_attempts: Attempts per shard before its failure propagates.
+        on_complete: Called with ``(spec, shard_result)`` as each shard
+            finishes (journaling hook); exceptions it raises abort the
+            run immediately -- completed shards stay journaled.
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        on_complete: Callable[[ShardSpec, ShardResult], None] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.backend = backend
+        self.max_attempts = max_attempts
+        self.on_complete = on_complete
+
+    def run(self, specs: Sequence[ShardSpec]) -> list[ShardResult]:
+        """Execute every spec, retrying failures; outcomes align with input.
+
+        Raises:
+            ShardFailure: A shard still failed after ``max_attempts``
+                attempts (the last failure, stamped with the count).
+        """
+        outcomes: list[ShardResult | None] = [None] * len(specs)
+        pending = list(enumerate(specs))
+        excluded: set[str] = set()
+        last_failure: ShardFailure | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            if not pending:
+                break
+            batch = [spec for _, spec in pending]
+            results = self.backend.run(batch, excluded=frozenset(excluded))
+            retry = []
+            for position, (index, spec) in enumerate(pending):
+                # Never trust the backend's alignment: a short or
+                # misfilled outcome list (e.g. a dispatch thread dying)
+                # must not masquerade as completed shards.
+                outcome = (
+                    results[position] if position < len(results) else None
+                )
+                if not isinstance(outcome, (ShardResult, ShardFailure)):
+                    outcome = ShardFailure(
+                        "backend returned no outcome for the shard",
+                        shard_key=spec.key,
+                    )
+                if isinstance(outcome, ShardFailure):
+                    if not outcome.retriable:
+                        # A cell raised deterministically inside a
+                        # healthy worker: recomputing it would reproduce
+                        # the exception, so surface it now -- as the
+                        # original exception when it is available
+                        # in-process, keeping the error contract
+                        # identical to the serial path.
+                        if outcome.cause_exception is not None:
+                            raise outcome.cause_exception from outcome
+                        raise outcome
+                    last_failure = outcome
+                    if outcome.worker:
+                        excluded.add(outcome.worker)
+                    retry.append((index, spec))
+                else:
+                    outcomes[index] = outcome
+                    if self.on_complete is not None:
+                        self.on_complete(spec, outcome)
+            pending = retry
+        if pending:
+            assert last_failure is not None
+            raise last_failure.with_attempts(self.max_attempts)
+        return outcomes  # type: ignore[return-value]
+
+
+class SweepJournal:
+    """Append-only per-shard completion log backing ``sweep --resume``.
+
+    One header line pins the journal to a specific compiled plan (via a
+    content fingerprint); each subsequent line records one completed
+    shard as ``{cell key -> bit-exact encoded RunResult}``.  Loading
+    tolerates a truncated final line -- exactly what a killed run leaves
+    behind -- and refuses (``ConfigurationError``) a journal whose
+    fingerprint does not match the plan being resumed.
+    """
+
+    def __init__(
+        self, path: str | Path, fingerprint: str, *, resume: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._completed: dict[str, RunResult] = {}
+        if resume and self.path.exists():
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header = {
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+            }
+            self.path.write_text(json.dumps(header) + "\n")
+
+    def _load(self) -> None:
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            raise ConfigurationError(
+                f"journal {self.path} is empty; rerun without --resume"
+            )
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = {}
+        if (
+            header.get("kind") != "header"
+            or header.get("version") != JOURNAL_VERSION
+        ):
+            raise ConfigurationError(
+                f"{self.path} is not a version-{JOURNAL_VERSION} sweep "
+                "journal; rerun without --resume"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise ConfigurationError(
+                f"journal {self.path} belongs to a different sweep plan "
+                "(spec, policies, or cells changed); rerun without "
+                "--resume or point --out elsewhere"
+            )
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A killed run can leave one torn trailing line; the
+                # shard it described simply reruns.
+                continue
+            if record.get("kind") != "shard":
+                continue
+            for entry in record.get("entries", ()):
+                self._completed[entry["key"]] = protocol.decode_result(
+                    entry["result"]
+                )
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def lookup(self, key: str) -> RunResult | None:
+        """The journaled result for one cell key, if it completed."""
+        return self._completed.get(key)
+
+    def record(self, spec: ShardSpec, result: ShardResult) -> None:
+        """Append one completed shard (flushed before returning)."""
+        entries = [
+            {
+                "key": cell_key(spec.policy, cell),
+                "result": protocol.encode_result(run),
+            }
+            for cell, run in zip(spec.cells, result.results)
+        ]
+        line = json.dumps(
+            {"kind": "shard", "shard": spec.key, "entries": entries},
+            separators=(",", ":"),
+        )
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        for entry, run in zip(entries, result.results):
+            self._completed[entry["key"]] = run
+
+
+def execute_cells(
+    cells: Sequence,
+    *,
+    backend: ExecutionBackend,
+    workers: int,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    on_complete: Callable[[ShardSpec, ShardResult], None] | None = None,
+) -> list[RunResult]:
+    """Plan, dispatch, retry, and reassemble one grid of cells.
+
+    The single engine behind ``run_cells`` and ``run_sweep``: shards the
+    grid by stream signature for ``workers``, runs the shards through
+    ``backend`` under a retrying :class:`Scheduler`, restores submission
+    order from the carried indices, and folds worker profile snapshots
+    into the parent's active profiler.  Results are bit-identical across
+    backends and worker counts.
+    """
+    cells = list(cells)
+    for cell in cells:
+        if not isinstance(cell, CELL_TYPES):
+            raise ConfigurationError(
+                f"unknown grid cell type {type(cell)!r}"
+            )
+    if not cells:
+        return []
+    multiprocess = backend.name != "serial"
+    if multiprocess:
+        # Parent-side pretraining warms the in-process caches forked pool
+        # workers inherit and the on-disk tier subprocess workers read.
+        warm_model_caches(cells)
+    profiler = profiling.active()
+    specs = make_shard_specs(
+        cells,
+        workers if multiprocess else 1,
+        active_policy().name,
+        # Serial shards run under the parent profiler directly; only
+        # other-process shards profile themselves and ship snapshots.
+        profile=multiprocess and profiler is not None,
+        cache_root=os.environ.get(CACHE_ENV),
+    )
+    scheduler = Scheduler(
+        backend, max_attempts=max_attempts, on_complete=on_complete
+    )
+    shard_results = scheduler.run(specs)
+    results: list[RunResult | None] = [None] * len(cells)
+    for spec, shard_result in zip(specs, shard_results):
+        for index, run in zip(spec.indices, shard_result.results):
+            results[index] = run
+        if profiler is not None and shard_result.profile:
+            # Worker phase seconds fold into the parent profile, so
+            # --profile composes with every multi-process backend
+            # (totals become CPU seconds across processes).
+            profiler.merge(shard_result.profile)
+    return results  # type: ignore[return-value]

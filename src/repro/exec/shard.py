@@ -1,0 +1,391 @@
+"""Shards: the unit of work every execution backend dispatches.
+
+A *shard* is a group of grid cells sharing one materialized stream -- the
+same decomposition :func:`plan_shards` has always produced for the process
+pool -- plus the two pieces of parent context a worker cannot inherit
+ambiently: the numeric policy name and the artifact-cache root.  Packaging
+those into a :class:`ShardSpec` is what makes the unit transport-agnostic:
+the same spec runs in-process (:class:`~repro.exec.backends.SerialBackend`),
+in a forked pool worker, or JSON-encoded over a pipe to a
+``python -m repro worker`` child on another host.
+
+The cell dataclasses (:class:`SystemCell` / :class:`Fig2Cell`) and the
+shard planner live here -- :mod:`repro.core.parallel` re-exports them for
+compatibility -- because the execution subsystem must not import the
+delegation layer that imports it.
+
+Failure is typed: a worker death, a broken pool, or a protocol violation
+surfaces as :class:`ShardFailure` naming the shard's cells, never as an
+opaque ``BrokenProcessPool`` traceback.  Shard execution is deterministic
+(every cell seeds its own RNGs), so retrying a failed shard on another
+worker reproduces the original results bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro import profiling
+from repro.core.results import RunResult
+from repro.core.runner import build_fig2_system, build_system, run_on_scenario
+from repro.errors import ConfigurationError, ExecutionError
+from repro.learn.student import make_student
+from repro.learn.teacher import make_teacher
+from repro.models.zoo import get_pair
+from repro.numeric import use_policy
+
+__all__ = [
+    "FAULT_TOKEN_ENV",
+    "Fig2Cell",
+    "ShardFailure",
+    "ShardResult",
+    "ShardSpec",
+    "SystemCell",
+    "cell_key",
+    "cell_label",
+    "consume_fault_token",
+    "make_shard_specs",
+    "plan_shards",
+    "run_cell",
+    "run_shard_cells",
+    "stream_signature",
+    "warm_model_caches",
+]
+
+#: Fault-injection hook (tests, CI's kill-and-resume leg): when this
+#: variable names an existing file, the next worker to *claim* it dies.
+FAULT_TOKEN_ENV = "REPRO_EXEC_DIE_TOKEN"
+
+
+def consume_fault_token() -> None:
+    """Die abruptly -- once, fleet-wide -- if the fault token is armed.
+
+    Workers (pool and subprocess alike) call this before executing each
+    shard.  The unlink is the atomic claim: exactly one process across
+    the fleet wins it and exits without replying, which is precisely the
+    mid-shard crash the scheduler's retry path must absorb.  Deterministic
+    (unlike kill-after-a-timer), so CI can assert on the aftermath.
+    """
+    path = os.environ.get(FAULT_TOKEN_ENV)
+    if not path:
+        return
+    try:
+        os.unlink(path)
+    except OSError:
+        return
+    os._exit(13)
+
+
+@dataclass(frozen=True)
+class SystemCell:
+    """One grid cell: a Figure-9-style system on one scenario.
+
+    Attributes:
+        system: System name from :data:`repro.core.runner.SYSTEM_BUILDERS`.
+        pair: Model-pair name.
+        scenario: Scenario name (Table II).
+        seed: Model-init and stream seed.
+        duration_s: Stream length override (None = scenario default).
+    """
+
+    system: str
+    pair: str
+    scenario: str
+    seed: int = 0
+    duration_s: float | None = None
+
+
+@dataclass(frozen=True)
+class Fig2Cell:
+    """One Figure-2 cell: frozen student/teacher or idealized Ekya on a GPU.
+
+    Attributes:
+        kind: ``"student"``, ``"teacher"``, or ``"ekya"``.
+        platform: ``"RTX3090"``, ``"OrinHigh"``, or ``"OrinLow"``.
+        pair: Model-pair name.
+        scenario: Scenario name.
+        seed: Stream seed (model init uses the builder default, matching
+            the serial Figure 2 code).
+        duration_s: Stream length override.
+    """
+
+    kind: str
+    platform: str
+    pair: str
+    scenario: str
+    seed: int = 0
+    duration_s: float | None = None
+
+
+CELL_TYPES = (SystemCell, Fig2Cell)
+
+
+def run_cell(cell) -> RunResult:
+    """Execute one cell (runs inside worker processes; must stay pickleable)."""
+    if isinstance(cell, SystemCell):
+        system = build_system(cell.system, cell.pair, seed=cell.seed)
+    elif isinstance(cell, Fig2Cell):
+        system = build_fig2_system(cell.kind, cell.platform, cell.pair)
+    else:
+        raise ConfigurationError(f"unknown grid cell type {type(cell)!r}")
+    return run_on_scenario(
+        system, cell.scenario, seed=cell.seed, duration_s=cell.duration_s
+    )
+
+
+def cell_label(cell) -> str:
+    """Compact human-readable cell identity (for failure messages)."""
+    if isinstance(cell, Fig2Cell):
+        name = f"{cell.platform}-{cell.kind}"
+    else:
+        name = cell.system
+    duration = "def" if cell.duration_s is None else f"{cell.duration_s:g}s"
+    return f"{name}/{cell.pair}/{cell.scenario}/s{cell.seed}/{duration}"
+
+
+def cell_key(policy_name: str, cell) -> str:
+    """The stable journal/dedup key of one (policy, cell) pair.
+
+    Purely content-derived -- no worker count, shard split, or submission
+    order leaks in -- so a resume journal written at ``--jobs 8`` matches
+    the same sweep re-run at ``--jobs 1``.  Unlike the human-facing
+    :func:`cell_label`, the duration is keyed at full precision
+    (``float.hex``): two cells differing past 6 significant digits must
+    never collide in a journal or plan fingerprint.
+    """
+    kind = "fig2" if isinstance(cell, Fig2Cell) else "system"
+    duration = (
+        "def" if cell.duration_s is None else float(cell.duration_s).hex()
+    )
+    return f"{policy_name}|{kind}|{cell_label(cell)}|{duration}"
+
+
+def stream_signature(cell) -> tuple:
+    """The (scenario, seed, duration) key identifying a cell's stream.
+
+    Cells sharing a signature consume the same materialized stream, so the
+    signature is both the sharding key here and the dedup/cost unit the
+    sweep planner (:mod:`repro.sweep.plan`) reports before running a fleet.
+    """
+    return (cell.scenario, cell.seed, cell.duration_s)
+
+
+def plan_shards(
+    cells: Sequence, jobs: int
+) -> list[list[tuple[int, object]]]:
+    """Group (index, cell) pairs into stream-sharing shards.
+
+    Shards are split (largest first) until there is one per worker or
+    nothing splittable remains, so small grids with few distinct streams
+    still use every core.  Splits interleave (evens/odds) rather than
+    halve: grids typically order cells cheap-systems-first within a
+    scenario, and contiguous halves would put every expensive system in
+    one worker.  Result order is restored from the carried indices, so
+    the split pattern never affects output.
+
+    This is exactly the decomposition every backend executes; it is
+    public so planners can estimate materialization counts and worker
+    balance without running anything.
+    """
+    groups: dict[tuple, list[tuple[int, object]]] = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault(stream_signature(cell), []).append((index, cell))
+    shards = list(groups.values())
+    target = min(jobs, len(cells))
+    while len(shards) < target:
+        largest = max(range(len(shards)), key=lambda i: len(shards[i]))
+        if len(shards[largest]) <= 1:
+            break
+        shard = shards.pop(largest)
+        shards.extend([shard[::2], shard[1::2]])
+    return shards
+
+
+def warm_model_caches(cells: Iterable) -> None:
+    """Pretrain every distinct (pair, seed) once in this process.
+
+    Forked workers inherit the warmed ``lru_cache`` entries for free;
+    spawn workers, subprocess workers, and separate invocations hit the
+    on-disk cache instead (see :mod:`repro.learn.cache`).  The MX-format
+    arguments do not matter here -- pretrained weights are
+    precision-independent -- so the default-format constructors suffice.
+    """
+    seen: set[tuple[str, int]] = set()
+    for cell in cells:
+        model_seed = cell.seed if isinstance(cell, SystemCell) else 0
+        key = (cell.pair, model_seed)
+        if key in seen:
+            continue
+        seen.add(key)
+        pair = get_pair(cell.pair)
+        make_student(pair.student, seed=model_seed)
+        make_teacher(pair.teacher, seed=model_seed)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One dispatchable unit of work, carrying its own execution context.
+
+    Attributes:
+        key: Content-derived shard identity (hash over policy + cell
+            keys); what failure messages and journals reference.
+        cells: The cells to run, in order.
+        indices: Each cell's position in the originating grid (restores
+            submission order after unordered completion).
+        policy: Numeric policy *name* -- explicit because contextvar
+            overrides do not survive spawn-started or remote workers.
+        profile: Whether the worker should profile its phases and ship
+            the snapshot back for the parent to merge.
+        cache_root: Artifact-cache root the worker should use, or None
+            to let it fall back to its own default (remote hosts).
+    """
+
+    key: str
+    cells: tuple
+    indices: tuple[int, ...]
+    policy: str
+    profile: bool = False
+    cache_root: str | None = None
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """A completed shard: per-cell results plus the worker's profile."""
+
+    key: str
+    results: tuple
+    profile: dict | None = None
+
+
+class ShardFailure(ExecutionError):
+    """A shard did not complete: worker death, broken pool, bad protocol.
+
+    Raised (after the scheduler's bounded retries) instead of the opaque
+    ``BrokenProcessPool``/``EOFError`` the transports produce, and always
+    names the cells whose results are missing.
+
+    Attributes:
+        shard_key: The failing shard's :attr:`ShardSpec.key`.
+        cells: Labels of the cells the shard was carrying.
+        worker: Identity of the worker observed failing, if known.
+        attempts: How many times the shard was attempted.
+        cause: One-line description of the underlying error.
+        retriable: Whether another attempt could plausibly succeed.
+            Transport faults (worker death, broken pool, protocol
+            violations) are; a *cell* raising inside a healthy worker is
+            deterministic and is not -- the scheduler surfaces it
+            immediately instead of recomputing the same exception.
+        cause_exception: The original exception object, when the failure
+            happened in-process (the pool transport); the scheduler
+            re-raises it so callers see the same exception type at any
+            worker count.  Remote transports cannot ship the object, so
+            there the typed failure itself (carrying ``cause``) is what
+            surfaces.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_key: str = "",
+        cells: tuple[str, ...] = (),
+        worker: str | None = None,
+        attempts: int = 1,
+        cause: str | None = None,
+        retriable: bool = True,
+        cause_exception: BaseException | None = None,
+    ) -> None:
+        detail = message
+        if cells:
+            detail += f" [cells: {', '.join(cells)}]"
+        if worker:
+            detail += f" [worker: {worker}]"
+        if attempts > 1:
+            detail += f" [attempts: {attempts}]"
+        if cause:
+            detail += f" [cause: {cause}]"
+        super().__init__(detail)
+        self.message = message
+        self.shard_key = shard_key
+        self.cells = cells
+        self.worker = worker
+        self.attempts = attempts
+        self.cause = cause
+        self.retriable = retriable
+        self.cause_exception = cause_exception
+
+    def with_attempts(self, attempts: int) -> "ShardFailure":
+        """A copy reporting the scheduler's final attempt count."""
+        return ShardFailure(
+            self.message,
+            shard_key=self.shard_key,
+            cells=self.cells,
+            worker=self.worker,
+            attempts=attempts,
+            cause=self.cause,
+            retriable=self.retriable,
+            cause_exception=self.cause_exception,
+        )
+
+
+def shard_key(policy_name: str, cells: Sequence) -> str:
+    """Content hash identifying a shard across processes and runs."""
+    hasher = hashlib.sha256()
+    for cell in cells:
+        hasher.update(cell_key(policy_name, cell).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()[:16]
+
+
+def make_shard_specs(
+    cells: Sequence,
+    jobs: int,
+    policy_name: str,
+    *,
+    profile: bool = False,
+    cache_root: str | None = None,
+) -> list[ShardSpec]:
+    """Plan ``cells`` into :class:`ShardSpec`\\ s for ``jobs`` workers."""
+    specs = []
+    for shard in plan_shards(cells, jobs):
+        shard_cells = tuple(cell for _, cell in shard)
+        specs.append(
+            ShardSpec(
+                key=shard_key(policy_name, shard_cells),
+                cells=shard_cells,
+                indices=tuple(index for index, _ in shard),
+                policy=policy_name,
+                profile=profile,
+                cache_root=cache_root,
+            )
+        )
+    return specs
+
+
+def run_shard_cells(
+    cells: Sequence, policy_name: str, profile: bool
+) -> tuple[list[RunResult], dict | None]:
+    """Execute a shard's cells in order (the worker-side entry point).
+
+    The numeric policy is re-installed explicitly -- a ``use_policy``
+    override in the parent is a contextvar and would not survive a
+    spawn-started or remote worker -- so shard results are policy-correct
+    on any transport.  The first cell materializes (or memmap-opens) the
+    shard's stream; the rest hit the artifact store's in-process LRU.
+    When ``profile`` is set, the shard runs under its own profiler and
+    returns the snapshot alongside the results so the parent can
+    aggregate worker phase times (``--profile`` composing with any
+    multi-process backend).
+    """
+    with use_policy(policy_name):
+        if not profile:
+            return [run_cell(cell) for cell in cells], None
+        profiler = profiling.enable()
+        try:
+            results = [run_cell(cell) for cell in cells]
+            return results, profiler.snapshot()
+        finally:
+            profiling.disable()

@@ -1,0 +1,118 @@
+"""The shard worker: ``python -m repro worker``.
+
+A long-lived child serving the JSON-lines shard protocol over stdio: read
+a ``shard`` message, execute its cells under the policy (and cache root)
+the payload carries, reply with a bit-exact ``result`` message -- or an
+``error`` message if the shard raised, after which the worker keeps
+serving (a deterministic cell bug must not look like a dead worker).
+
+The *real* stdout belongs to the protocol: its fd is duplicated at
+startup and ``sys.stdout`` is repointed at stderr, so a stray ``print``
+anywhere in the simulation degrades to log noise instead of corrupting
+the message stream.  That discipline is what lets the identical worker
+run behind ``ssh host python -m repro worker``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import traceback
+
+from repro.cache import CACHE_ENV
+from repro.errors import ProtocolError
+from repro.exec import protocol
+from repro.exec.shard import consume_fault_token, run_shard_cells
+
+__all__ = ["worker_main"]
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    """Serve shards over stdio until ``shutdown`` or EOF."""
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="shard worker speaking the JSON-lines protocol "
+        "on stdio (launched by the subprocess backend, locally or "
+        "over ssh)",
+    )
+    parser.parse_args(argv or [])
+
+    def send_error(channel, message_id, error, trace=None):
+        protocol.write_message(
+            channel,
+            {
+                "v": protocol.PROTOCOL_VERSION,
+                "kind": "error",
+                "id": message_id,
+                "error": error,
+                "traceback": trace,
+            },
+        )
+
+    channel = os.fdopen(os.dup(sys.stdout.fileno()), "w")
+    # Nothing but the protocol may reach the parent's pipe: repoint the
+    # Python-level stdout *and* file descriptor 1 at stderr, so fd-level
+    # writers (C extensions, os.write, child processes of cell code)
+    # degrade to log noise instead of corrupting the message stream.
+    sys.stdout = sys.stderr
+    os.dup2(sys.stderr.fileno(), 1)
+    # Shards pin the cache root per-payload; remember the worker's own
+    # baseline so a cache_root-less shard falls back to it rather than
+    # inheriting whatever the previous shard pinned.
+    baseline_cache_root = os.environ.get(CACHE_ENV)
+    protocol.write_message(
+        channel,
+        {
+            "v": protocol.PROTOCOL_VERSION,
+            "kind": "hello",
+            "pid": os.getpid(),
+        },
+    )
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            message = protocol.decode_message(line)
+        except ProtocolError as exc:
+            send_error(channel, None, str(exc))
+            continue
+        kind = message.get("kind")
+        if kind == "shutdown":
+            break
+        if kind != "shard":
+            send_error(
+                channel, message.get("id"),
+                f"unexpected message kind {kind!r}",
+            )
+            continue
+        consume_fault_token()
+        try:
+            spec = protocol.decode_shard_spec(message)
+            if spec.cache_root is not None:
+                # The payload pins the parent's artifact-cache root so a
+                # shared-FS fleet reads one content-addressed store.
+                os.environ[CACHE_ENV] = spec.cache_root
+            elif baseline_cache_root is not None:
+                os.environ[CACHE_ENV] = baseline_cache_root
+            else:
+                os.environ.pop(CACHE_ENV, None)
+            results, snapshot = run_shard_cells(
+                spec.cells, spec.policy, spec.profile
+            )
+        except Exception as exc:
+            send_error(
+                channel, message.get("id"),
+                f"{type(exc).__name__}: {exc}", traceback.format_exc(),
+            )
+            continue
+        protocol.write_message(
+            channel,
+            protocol.encode_shard_result(spec.key, results, snapshot),
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

@@ -32,7 +32,12 @@ from repro.experiments.ablations import (
     run_ablation_precision,
     run_ablation_scaling,
 )
-from repro.experiments.registry import EXPERIMENTS, run_experiment, supports_jobs
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    supports_backend,
+    supports_jobs,
+)
 
 __all__ = [
     "EXPERIMENTS",
@@ -56,5 +61,6 @@ __all__ = [
     "run_table2",
     "run_table3",
     "run_table4",
+    "supports_backend",
     "supports_jobs",
 ]

@@ -1,18 +1,39 @@
-"""Sweep execution: plan -> ``run_cells`` per policy -> rows, report, files.
+"""Sweep execution: plan -> scheduled shards per policy -> rows, report, files.
 
-Execution is deliberately thin: every policy group runs through exactly the
-``run_cells`` path the figure experiments use (under ``use_policy``, so the
-PR 3 digest-safe plumbing -- policy-namespaced artifact keys, worker-side
-policy re-install, profile merging -- applies unchanged).  A sweep of the
-Figure 9 grid therefore produces bit-identical per-cell results to
-``repro experiment fig9`` at any ``--jobs``.
+Execution routes through the same :func:`repro.exec.execute_cells` engine
+as ``run_cells`` and the figure experiments (under ``use_policy``, so the
+policy-namespaced artifact keys, worker-side policy re-install, and
+profile merging apply unchanged) -- a sweep of the Figure 9 grid therefore
+produces bit-identical per-cell results to ``repro experiment fig9`` on
+any backend at any worker count.
+
+Two fleet-scale features layer on top:
+
+- **Journal.**  With an output directory, every completed shard is
+  appended to ``sweep_<name>.journal.jsonl`` (bit-exact encoded results,
+  keyed per cell) as it finishes.
+- **Resume.**  ``resume=True`` reloads that journal, skips every cell it
+  already holds, runs only the remainder, and re-merges -- the final
+  document is byte-identical to an uninterrupted run's.  The journal is
+  fingerprinted against the compiled plan, so resuming a *different*
+  sweep into the same directory is a :class:`ConfigurationError`, not a
+  silent mix of results.
 """
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 
-from repro.core.parallel import default_jobs, run_cells
+from repro.core.parallel import default_jobs, positive_int_env
+from repro.errors import ConfigurationError
+from repro.exec import (
+    ShardFailure,
+    SweepJournal,
+    cell_key,
+    execute_cells,
+)
+from repro.exec.backends import resolve_backend
 from repro.experiments.reporting import ExperimentResult, format_table
 from repro.numeric import use_policy
 from repro.sweep.aggregate import (
@@ -25,14 +46,46 @@ from repro.sweep.aggregate import (
 from repro.sweep.plan import SweepPlan, compile_plan
 from repro.sweep.spec import SweepSpec
 
-__all__ = ["run_sweep", "write_outputs"]
+__all__ = ["ABORT_ENV", "journal_path", "plan_fingerprint", "run_sweep",
+           "write_outputs"]
 
 #: Don't inline the per-cell table into the text report past this size.
 _MAX_INLINE_CELL_ROWS = 36
 
+#: Fault-injection hook for CI's kill-and-resume leg: abort the sweep
+#: (exit path: ShardFailure -> CLI status 3) after this many shards have
+#: been completed *and journaled*, deterministically simulating a
+#: mid-sweep kill.
+ABORT_ENV = "REPRO_SWEEP_ABORT_AFTER_SHARDS"
+
+
+def plan_fingerprint(plan: SweepPlan) -> str:
+    """Content hash pinning a journal to one compiled plan.
+
+    Covers the spec name, cell kind, and every (policy, cell) in
+    expansion order -- but *not* jobs or backend, so a journal written at
+    ``--jobs 8`` over subprocess workers resumes at ``--jobs 1`` serial.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"{plan.spec.name}|{plan.spec.cell}".encode())
+    for group in plan.groups:
+        for cell in group.cells:
+            hasher.update(cell_key(group.policy.name, cell).encode())
+            hasher.update(b"\n")
+    return hasher.hexdigest()[:16]
+
+
+def journal_path(out_dir: str | Path, spec_name: str) -> Path:
+    """Where a sweep's completion journal lives under its output dir."""
+    return Path(out_dir) / f"sweep_{spec_name}.journal.jsonl"
+
 
 def run_sweep(
-    spec: SweepSpec | SweepPlan, jobs: int = 1
+    spec: SweepSpec | SweepPlan,
+    jobs: int = 1,
+    backend=None,
+    out_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Execute a sweep spec (or precompiled plan) and aggregate the fleet.
 
@@ -41,25 +94,96 @@ def run_sweep(
             :class:`~repro.sweep.plan.SweepPlan` already compiled from one.
         jobs: Worker processes per policy group; 1 runs serially, 0 means
             "all cores".  Results are identical at any worker count.
+        backend: Execution backend spec string (``serial`` /
+            ``process[:N]`` / ``subprocess[:N]``) or instance; None
+            consults the ambient selection (``use_backend`` /
+            ``$REPRO_BACKEND``) and falls back to the historical default.
+        out_dir: Directory the completion journal is written under as
+            shards finish (required for ``resume``).  The JSON/CSV
+            artifacts still come from :func:`write_outputs`.
+        resume: Reload the journal and skip cells it already holds; the
+            resulting document is identical to an uninterrupted run's.
 
     Returns:
         An :class:`ExperimentResult` whose ``rows`` are the aggregate
         rows; ``extras`` carries the per-cell rows (``"cells"``), the raw
         ``(policy name, cell, RunResult)`` triples (``"results"``), the
-        cost estimate, and the serializable document (``"document"``).
+        cost estimate, the serializable document (``"document"``), and
+        ``"resumed_cells"`` (how many came from the journal).
     """
     plan = spec if isinstance(spec, SweepPlan) else compile_plan(spec)
     spec = plan.spec
-    estimate = plan.estimate(jobs if jobs > 0 else default_jobs())
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    workers = jobs if jobs > 0 else default_jobs()
+    backend_obj, plan_workers, owned = resolve_backend(
+        backend, workers, plan.num_cells
+    )
+    # Price the sweep at the worker count it will actually execute with
+    # (a backend spec carrying its own :N overrides --jobs).
+    estimate = plan.estimate(plan_workers)
+
+    if resume and out_dir is None:
+        raise ConfigurationError(
+            "resume needs an output directory: the completion journal "
+            "lives there (pass --out DIR)"
+        )
+    journal = None
+    if out_dir is not None:
+        journal = SweepJournal(
+            journal_path(out_dir, spec.name),
+            plan_fingerprint(plan),
+            resume=resume,
+        )
+
+    abort_after = positive_int_env(ABORT_ENV)
+    completed_shards = 0
+
+    def on_complete(shard_spec, shard_result):
+        nonlocal completed_shards
+        if journal is not None:
+            journal.record(shard_spec, shard_result)
+        completed_shards += 1
+        if abort_after is not None and completed_shards >= abort_after:
+            raise ShardFailure(
+                f"injected abort after {completed_shards} completed "
+                f"shards ({ABORT_ENV})",
+                shard_key=shard_spec.key,
+            )
 
     triples = []
-    for group in plan.groups:
-        with use_policy(group.policy):
-            results = run_cells(list(group.cells), jobs=jobs)
-        triples.extend(
-            (group.policy.name, cell, result)
-            for cell, result in zip(group.cells, results)
-        )
+    resumed = 0
+    try:
+        for group in plan.groups:
+            cells = list(group.cells)
+            results: list = [None] * len(cells)
+            remaining = []
+            for index, cell in enumerate(cells):
+                done = None
+                if journal is not None and resume:
+                    done = journal.lookup(cell_key(group.policy.name, cell))
+                if done is None:
+                    remaining.append(index)
+                else:
+                    results[index] = done
+            resumed += len(cells) - len(remaining)
+            if remaining:
+                with use_policy(group.policy):
+                    fresh = execute_cells(
+                        [cells[index] for index in remaining],
+                        backend=backend_obj,
+                        workers=plan_workers,
+                        on_complete=on_complete,
+                    )
+                for index, run in zip(remaining, fresh):
+                    results[index] = run
+            triples.extend(
+                (group.policy.name, cell, run)
+                for cell, run in zip(cells, results)
+            )
+    finally:
+        if owned:
+            backend_obj.close()
 
     cells = [
         cell_row(policy_name, cell, result)
@@ -109,6 +233,7 @@ def run_sweep(
             "results": tuple(triples),
             "estimate": estimate.as_dict(),
             "document": document,
+            "resumed_cells": resumed,
         },
     )
 
@@ -119,7 +244,8 @@ def write_outputs(result: ExperimentResult, out_dir: str | Path) -> list[Path]:
     Emits ``<name>.json`` (the self-describing document -- per-cell rows,
     aggregate rows, cost estimate), ``<name>_cells.csv`` and
     ``<name>_aggregate.csv`` (flat tables), and ``<name>.txt`` (the text
-    report).  Returns the written paths.
+    report).  Returns the written paths.  (The completion journal is not
+    an output: ``run_sweep`` streams it while executing.)
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import Fig2Cell, SystemCell, parallel_map, run_cells
-from repro.core.parallel import _run_cell, plan_shards, warm_model_caches
+from repro.core.parallel import (
+    JOBS_ENV,
+    _run_cell,
+    default_jobs,
+    plan_shards,
+    warm_model_caches,
+)
 from repro.errors import ConfigurationError
 from repro.learn.cache import CACHE_ENV
 
@@ -139,6 +145,36 @@ class TestParallelMap:
 
     def test_jobs_zero_uses_all_cores(self):
         assert parallel_map(_square, [1, 2], jobs=0) == [1, 4]
+
+
+class TestDefaultJobs:
+    def test_unset_uses_available_cpus(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert default_jobs() >= 1
+
+    def test_env_override_pins_worker_count(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert default_jobs() == 7
+        monkeypatch.setenv(JOBS_ENV, " 3 ")
+        assert default_jobs() == 3
+
+    @pytest.mark.parametrize("value", ["zero", "2.5", "0", "-1", "1e2"])
+    def test_env_garbage_raises_configuration_error(
+        self, monkeypatch, value
+    ):
+        monkeypatch.setenv(JOBS_ENV, value)
+        with pytest.raises(ConfigurationError, match=JOBS_ENV):
+            default_jobs()
+
+    def test_empty_env_falls_through(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "")
+        assert default_jobs() >= 1
+
+    def test_jobs_zero_routes_through_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "2")
+        cell = SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", 0, DURATION)
+        results = run_cells([cell], jobs=0)
+        assert_results_identical(results[0], _run_cell(cell))
 
 
 class TestWarmModelCaches:

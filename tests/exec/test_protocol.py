@@ -1,0 +1,205 @@
+"""Tests for the JSON-lines shard protocol (exactness and robustness)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.exec import Fig2Cell, ShardSpec, SystemCell
+from repro.exec import protocol
+from repro.core.phases import PhaseKind, PhaseRecord
+from repro.core.results import RunResult
+from repro.reference import run_digest
+
+
+def synthetic_result(dtype=np.float64) -> RunResult:
+    rng = np.random.default_rng(7)
+    times = np.arange(0.0, 12.0, 0.4, dtype=np.float64)
+    return RunResult(
+        system="DaCapo-Spatiotemporal",
+        scenario="S4",
+        pair="resnet18_wrn50",
+        times=times,
+        correct=rng.random(len(times)) < 0.8,
+        dropped=rng.random(len(times)) < 0.1,
+        phases=(
+            PhaseRecord(PhaseKind.LABEL, 0.0, 1.9375, samples=31),
+            PhaseRecord(
+                PhaseKind.RETRAIN, 1.9375, 5.1, samples=62,
+                drift_detected=True,
+            ),
+            PhaseRecord(PhaseKind.IDLE, 5.1, 12.0),
+        ),
+        duration_s=12.0,
+        energy_j=123.4567890123,
+        average_power_w=10.2880657510,
+    )
+
+
+class TestResultRoundTrip:
+    def test_digest_exact(self):
+        result = synthetic_result()
+        payload = protocol.encode_result(result)
+        line = protocol.encode_message(
+            {"v": protocol.PROTOCOL_VERSION, "kind": "x", "r": payload}
+        )
+        decoded = protocol.decode_result(
+            protocol.decode_message(line)["r"]
+        )
+        assert run_digest(decoded) == run_digest(result)
+
+    def test_array_dtypes_survive(self):
+        result = synthetic_result()
+        decoded = protocol.decode_result(
+            json.loads(json.dumps(protocol.encode_result(result)))
+        )
+        assert decoded.times.dtype == result.times.dtype
+        assert decoded.correct.dtype == np.bool_
+        np.testing.assert_array_equal(decoded.times, result.times)
+
+    def test_float_bits_survive_json(self):
+        # Scalars ride as plain JSON numbers: repr round-trips doubles.
+        value = 0.1 + 0.2  # not exactly representable in decimal
+        assert json.loads(json.dumps(value)) == value
+
+    def test_malformed_result_payload(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_result({"system": "x"})
+
+
+class TestCellRoundTrip:
+    def test_system_cell(self):
+        cell = SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", 3, 120.0)
+        assert protocol.decode_cell(protocol.encode_cell(cell)) == cell
+
+    def test_fig2_cell_and_default_duration(self):
+        cell = Fig2Cell("student", "RTX3090", "resnet18_wrn50", "S5", 0, None)
+        assert protocol.decode_cell(protocol.encode_cell(cell)) == cell
+
+    def test_numpy_scalars_in_cells_coerce(self):
+        # Sweeps built from numpy-derived grids leak np scalars into cell
+        # fields; the round-tripped cell must equal the Python-literal one.
+        cell = SystemCell(
+            "OrinHigh-Ekya", "resnet18_wrn50", "S1",
+            seed=np.int64(3), duration_s=np.float64(120.0),
+        )
+        line = protocol.encode_message(protocol.encode_cell(cell))
+        decoded = protocol.decode_cell(json.loads(line))
+        assert decoded == SystemCell(
+            "OrinHigh-Ekya", "resnet18_wrn50", "S1", 3, 120.0
+        )
+        assert isinstance(decoded.seed, int)
+        assert isinstance(decoded.duration_s, float)
+
+    def test_unknown_cell_type(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_cell("not-a-cell")
+        with pytest.raises(ProtocolError):
+            protocol.decode_cell({"type": "warp-drive"})
+
+
+class TestShardMessages:
+    def spec(self):
+        return ShardSpec(
+            key="abc123",
+            cells=(
+                SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", 0, 60.0),
+            ),
+            indices=(5,),
+            policy="float32",
+            profile=True,
+            cache_root="/tmp/cache",
+        )
+
+    def test_request_round_trip(self):
+        request = protocol.encode_shard_request(self.spec())
+        decoded = protocol.decode_shard_spec(
+            protocol.decode_message(protocol.encode_message(request))
+        )
+        assert decoded.key == "abc123"
+        assert decoded.cells == self.spec().cells
+        assert decoded.policy == "float32"
+        assert decoded.profile is True
+        assert decoded.cache_root == "/tmp/cache"
+        # Worker-side indices are synthetic; the parent keeps the real ones.
+        assert decoded.indices == (0,)
+
+    def test_result_message_round_trip(self):
+        result = synthetic_result()
+        message = protocol.encode_shard_result(
+            "abc123", [result], {"retrain": {"total_s": 1.0, "count": 2}}
+        )
+        decoded = protocol.decode_shard_result(
+            protocol.decode_message(protocol.encode_message(message))
+        )
+        assert decoded.key == "abc123"
+        assert run_digest(decoded.results[0]) == run_digest(result)
+        assert decoded.profile == {"retrain": {"total_s": 1.0, "count": 2}}
+
+    def test_messages_are_single_lines(self):
+        request = protocol.encode_shard_request(self.spec())
+        assert "\n" not in protocol.encode_message(request)
+
+    def test_numpy_scalars_in_profile_snapshots(self):
+        message = {
+            "v": protocol.PROTOCOL_VERSION,
+            "kind": "result",
+            "id": "x",
+            "results": [],
+            "profile": {
+                "retrain": {
+                    "total_s": np.float64(1.5), "count": np.int64(3)
+                },
+                "flag": np.bool_(True),
+            },
+        }
+        decoded = protocol.decode_message(protocol.encode_message(message))
+        assert decoded["profile"]["retrain"] == {"total_s": 1.5, "count": 3}
+        assert decoded["profile"]["flag"] is True
+
+
+class TestFraming:
+    def test_version_mismatch_rejected(self):
+        line = json.dumps({"v": 999, "kind": "hello"})
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            protocol.decode_message(line)
+
+    def test_undecodable_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_message("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_message("[1, 2, 3]")
+
+    def test_blank_lines_are_skipped_not_eof(self, tmp_path):
+        # ssh channels can emit empty keepalive lines mid-conversation;
+        # only a true EOF may read as "the worker is gone".
+        path = tmp_path / "stream.jsonl"
+        with path.open("w") as handle:
+            handle.write("\n\n")
+            protocol.write_message(
+                handle, {"v": protocol.PROTOCOL_VERSION, "kind": "hello"}
+            )
+            handle.write("\n")
+        with path.open() as handle:
+            assert protocol.read_message(handle)["kind"] == "hello"
+            assert protocol.read_message(handle) is None
+
+    def test_stream_read_write(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        with path.open("w") as handle:
+            protocol.write_message(
+                handle, {"v": protocol.PROTOCOL_VERSION, "kind": "hello"}
+            )
+            protocol.write_message(
+                handle, {"v": protocol.PROTOCOL_VERSION, "kind": "shutdown"}
+            )
+        with path.open() as handle:
+            first = protocol.read_message(handle)
+            second = protocol.read_message(handle)
+            third = protocol.read_message(handle)
+        assert first["kind"] == "hello"
+        assert second["kind"] == "shutdown"
+        assert third is None

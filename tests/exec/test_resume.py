@@ -1,0 +1,116 @@
+"""End-to-end retry/resume: killed sweeps finish identically on --resume."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import ShardFailure
+from repro.sweep import run_sweep, spec_from_mapping, write_outputs
+from repro.sweep.run import ABORT_ENV, journal_path
+
+
+def tiny_spec(**sweep_updates):
+    data = {
+        "sweep": {"name": "resume-tiny", "title": "Resume tiny fleet"},
+        "axes": {
+            "systems": ["DaCapo-Spatiotemporal", "OrinHigh-Ekya"],
+            "pairs": ["resnet18_wrn50"],
+            "scenarios": ["S1"],
+            "durations": [60.0],
+        },
+        "aggregate": {
+            "group_by": ["policy", "system"],
+            "percentiles": [50],
+            "metrics": ["accuracy", "drop_rate"],
+        },
+    }
+    data["sweep"].update(sweep_updates)
+    return spec_from_mapping(data)
+
+
+class TestResume:
+    def test_killed_then_resumed_matches_uninterrupted(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance criterion: abort a sweep mid-flight (after its
+        first journaled shard), resume it, and get a document
+        byte-identical to an uninterrupted run's."""
+        clean_dir = tmp_path / "clean"
+        resumed_dir = tmp_path / "resumed"
+        spec = tiny_spec()
+
+        clean = run_sweep(spec, jobs=1, out_dir=clean_dir)
+        write_outputs(clean, clean_dir)
+
+        monkeypatch.setenv(ABORT_ENV, "1")
+        with pytest.raises(ShardFailure, match="injected abort"):
+            run_sweep(spec, jobs=1, out_dir=resumed_dir)
+        monkeypatch.delenv(ABORT_ENV)
+        # The journal holds the completed shard the "kill" left behind.
+        assert journal_path(resumed_dir, "resume-tiny").exists()
+
+        resumed = run_sweep(spec, jobs=1, out_dir=resumed_dir, resume=True)
+        assert resumed.extras["resumed_cells"] >= 1
+        write_outputs(resumed, resumed_dir)
+
+        clean_doc = (clean_dir / "sweep_resume-tiny.json").read_bytes()
+        resumed_doc = (resumed_dir / "sweep_resume-tiny.json").read_bytes()
+        assert clean_doc == resumed_doc
+        assert resumed.report == clean.report
+
+    def test_full_journal_resumes_without_executing(self, tmp_path):
+        out = tmp_path / "out"
+        spec = tiny_spec(name="resume-full")
+        first = run_sweep(spec, jobs=1, out_dir=out)
+        again = run_sweep(spec, jobs=1, out_dir=out, resume=True)
+        assert again.extras["resumed_cells"] == len(
+            first.extras["cells"]
+        )
+        assert again.extras["cells"] == first.extras["cells"]
+        assert again.rows == first.rows
+
+    def test_resume_requires_out_dir(self):
+        with pytest.raises(ConfigurationError, match="output directory"):
+            run_sweep(tiny_spec(), jobs=1, resume=True)
+
+    def test_resume_refuses_a_different_plan(self, tmp_path):
+        out = tmp_path / "out"
+        run_sweep(tiny_spec(name="resume-a"), jobs=1, out_dir=out)
+        # Same sweep name, different grid -> different fingerprint.
+        changed = spec_from_mapping({
+            "sweep": {"name": "resume-a", "title": "changed"},
+            "axes": {
+                "systems": ["OrinHigh-Ekya"],
+                "pairs": ["resnet18_wrn50"],
+                "scenarios": ["S4"],
+                "durations": [60.0],
+            },
+        })
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            run_sweep(changed, jobs=1, out_dir=out, resume=True)
+
+    def test_abort_env_garbage_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ABORT_ENV, "soon")
+        with pytest.raises(ConfigurationError, match=ABORT_ENV):
+            run_sweep(tiny_spec(), jobs=1, out_dir=tmp_path)
+
+
+class TestResumeAcrossBackends:
+    def test_journal_written_under_subprocess_backend_resumes_serially(
+        self, tmp_path, monkeypatch
+    ):
+        """Journals are keyed per cell (no worker count, no transport), so
+        a sweep journaled over subprocess workers resumes serially."""
+        out = tmp_path / "out"
+        spec = tiny_spec(name="resume-xbackend")
+        monkeypatch.setenv(ABORT_ENV, "1")
+        with pytest.raises(ShardFailure):
+            run_sweep(spec, jobs=2, backend="subprocess:2", out_dir=out)
+        monkeypatch.delenv(ABORT_ENV)
+        resumed = run_sweep(spec, jobs=1, backend="serial",
+                            out_dir=out, resume=True)
+        clean = run_sweep(spec, jobs=1)
+        assert resumed.extras["resumed_cells"] >= 1
+        assert resumed.extras["cells"] == clean.extras["cells"]
+        assert resumed.rows == clean.rows

@@ -1,0 +1,241 @@
+"""Tests for the retrying scheduler and the resume journal."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.phases import PhaseKind, PhaseRecord
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError
+from repro.exec import (
+    Scheduler,
+    ShardFailure,
+    ShardResult,
+    SweepJournal,
+    SystemCell,
+    cell_key,
+    make_shard_specs,
+)
+from repro.reference import run_digest
+
+
+def tiny_result(seed: int = 0) -> RunResult:
+    rng = np.random.default_rng(seed)
+    times = np.arange(0.0, 4.0, 0.5)
+    return RunResult(
+        system="OrinHigh-Ekya",
+        scenario="S1",
+        pair="resnet18_wrn50",
+        times=times,
+        correct=rng.random(len(times)) < 0.7,
+        dropped=np.zeros(len(times), dtype=bool),
+        phases=(PhaseRecord(PhaseKind.IDLE, 0.0, 4.0),),
+        duration_s=4.0,
+        energy_j=1.0,
+        average_power_w=0.25,
+    )
+
+
+def specs_for(num_cells: int, jobs: int = 2):
+    cells = [
+        SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", seed, 60.0)
+        for seed in range(num_cells)
+    ]
+    return make_shard_specs(cells, jobs, "float64")
+
+
+class FlakyBackend:
+    """Succeeds each shard only after ``failures_per_shard`` failures."""
+
+    name = "process"  # not "serial": exercise the multi-process paths
+
+    def __init__(self, failures_per_shard: int = 1) -> None:
+        self.failures_per_shard = failures_per_shard
+        self.attempts: dict[str, int] = {}
+        self.excluded_seen: list[frozenset] = []
+
+    def run(self, specs, excluded=frozenset()):
+        self.excluded_seen.append(excluded)
+        outcomes = []
+        for spec in specs:
+            count = self.attempts.get(spec.key, 0) + 1
+            self.attempts[spec.key] = count
+            if count <= self.failures_per_shard:
+                outcomes.append(
+                    ShardFailure(
+                        "synthetic failure",
+                        shard_key=spec.key,
+                        worker=f"w{count}",
+                    )
+                )
+            else:
+                outcomes.append(
+                    ShardResult(
+                        key=spec.key,
+                        results=tuple(
+                            tiny_result(cell.seed) for cell in spec.cells
+                        ),
+                    )
+                )
+        return outcomes
+
+    def close(self):
+        pass
+
+
+class TestScheduler:
+    def test_retries_until_success(self):
+        backend = FlakyBackend(failures_per_shard=2)
+        specs = specs_for(2)
+        outcomes = Scheduler(backend, max_attempts=3).run(specs)
+        assert all(isinstance(o, ShardResult) for o in outcomes)
+        assert [o.key for o in outcomes] == [s.key for s in specs]
+        assert all(n == 3 for n in backend.attempts.values())
+
+    def test_raises_after_bounded_attempts(self):
+        backend = FlakyBackend(failures_per_shard=99)
+        with pytest.raises(ShardFailure) as excinfo:
+            Scheduler(backend, max_attempts=2).run(specs_for(1))
+        assert excinfo.value.attempts == 2
+        assert all(n == 2 for n in backend.attempts.values())
+
+    def test_failed_workers_are_excluded_on_retry(self):
+        backend = FlakyBackend(failures_per_shard=1)
+        Scheduler(backend, max_attempts=2).run(specs_for(1))
+        first, second = backend.excluded_seen
+        assert first == frozenset()
+        assert second == frozenset({"w1"})
+
+    def test_on_complete_fires_once_per_shard(self):
+        backend = FlakyBackend(failures_per_shard=1)
+        seen = []
+        Scheduler(
+            backend,
+            max_attempts=3,
+            on_complete=lambda spec, result: seen.append(spec.key),
+        ).run(specs_for(3))
+        assert sorted(seen) == sorted(s.key for s in specs_for(3))
+
+    def test_on_complete_exception_aborts_immediately(self):
+        backend = FlakyBackend(failures_per_shard=0)
+
+        def abort(spec, result):
+            raise ShardFailure("injected abort")
+
+        with pytest.raises(ShardFailure, match="injected abort"):
+            Scheduler(backend, on_complete=abort).run(specs_for(2))
+        # The abort is not a retriable shard outcome: one attempt only.
+        assert max(backend.attempts.values()) == 1
+
+    def test_rejects_bad_max_attempts(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(FlakyBackend(), max_attempts=0)
+
+    def test_missing_outcome_is_a_failure_not_a_success(self):
+        # A backend bug (dispatch thread dying, misaligned outcome list)
+        # must never be journaled as a completed shard.
+        class BrokenBackend:
+            name = "process"
+
+            def run(self, specs, excluded=frozenset()):
+                return [None for _ in specs]
+
+            def close(self):
+                pass
+
+        with pytest.raises(ShardFailure, match="no outcome"):
+            Scheduler(BrokenBackend(), max_attempts=2).run(specs_for(1))
+
+
+class TestMakeShardSpecs:
+    def test_specs_carry_context_and_indices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        cells = [
+            SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", 0, 60.0),
+            SystemCell("DaCapo-Ekya", "resnet18_wrn50", "S1", 0, 60.0),
+            SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S4", 0, 60.0),
+        ]
+        specs = make_shard_specs(
+            cells, 2, "float32", profile=True, cache_root="/tmp/somewhere"
+        )
+        assert all(spec.policy == "float32" for spec in specs)
+        assert all(spec.profile for spec in specs)
+        assert all(spec.cache_root == "/tmp/somewhere" for spec in specs)
+        covered = sorted(i for spec in specs for i in spec.indices)
+        assert covered == [0, 1, 2]
+
+    def test_keys_are_content_stable(self):
+        first = specs_for(3, jobs=1)
+        again = specs_for(3, jobs=1)
+        assert [s.key for s in first] == [s.key for s in again]
+        # A different policy is a different identity.
+        cells = [
+            SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", 0, 60.0)
+        ]
+        f64 = make_shard_specs(cells, 1, "float64")[0].key
+        f32 = make_shard_specs(cells, 1, "float32")[0].key
+        assert f64 != f32
+
+
+class TestSweepJournal:
+    def entry(self, seed=0):
+        cell = SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S1", seed, 60.0)
+        spec = make_shard_specs([cell], 1, "float64")[0]
+        result = ShardResult(
+            key=spec.key, results=(tiny_result(seed),)
+        )
+        return cell, spec, result
+
+    def test_record_and_resume_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        journal = SweepJournal(path, "fp1")
+        cell, spec, result = self.entry()
+        journal.record(spec, result)
+
+        resumed = SweepJournal(path, "fp1", resume=True)
+        key = cell_key("float64", cell)
+        assert len(resumed) == 1
+        restored = resumed.lookup(key)
+        assert restored is not None
+        assert run_digest(restored) == run_digest(result.results[0])
+        assert resumed.lookup("missing") is None
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        SweepJournal(path, "fp1")
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            SweepJournal(path, "fp2", resume=True)
+
+    def test_non_journal_file_refused(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        path.write_text("just some text\n")
+        with pytest.raises(ConfigurationError):
+            SweepJournal(path, "fp1", resume=True)
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        journal = SweepJournal(path, "fp1")
+        cell, spec, result = self.entry()
+        journal.record(spec, result)
+        with path.open("a") as handle:
+            handle.write('{"kind":"shard","entr')  # killed mid-write
+        resumed = SweepJournal(path, "fp1", resume=True)
+        assert len(resumed) == 1
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        journal = SweepJournal(path, "fp1")
+        _, spec, result = self.entry()
+        journal.record(spec, result)
+        fresh = SweepJournal(path, "fp1")  # no resume: a new run
+        assert len(fresh) == 0
+        assert len(path.read_text().splitlines()) == 1  # header only
+
+    def test_header_is_versioned(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        SweepJournal(path, "fp1")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == "header"
+        assert header["fingerprint"] == "fp1"
+        assert isinstance(header["version"], int)

@@ -92,8 +92,14 @@ class TestRunSweep:
 
 
 class TestFrozenDigests:
-    def test_smoke_grid_through_sweep_matches_reference(self):
-        """A spec of the reference smoke grid reproduces its frozen digests."""
+    @pytest.mark.parametrize(
+        "backend,jobs",
+        [("serial", 1), ("process:2", 2), ("subprocess:2", 2)],
+    )
+    def test_smoke_grid_through_sweep_matches_reference(self, backend, jobs):
+        """A spec of the reference smoke grid reproduces its frozen
+        digests on every execution backend (the bit-identity acceptance
+        contract of the pluggable dispatch layer)."""
         policy = active_policy()
         reference = json.loads(
             reference_path(policy.name).read_text()
@@ -111,7 +117,7 @@ class TestFrozenDigests:
                 "durations": [300.0],
             },
         })
-        result = run_sweep(spec, jobs=1)
+        result = run_sweep(spec, jobs=jobs, backend=backend)
         for _, cell, run in result.extras["results"]:
             key = (
                 f"{cell.system}|{cell.pair}|{cell.scenario}"
@@ -124,16 +130,20 @@ class TestFrozenDigests:
         reason="set REPRO_FULL_DIGESTS=1 for the full fig9-through-sweep "
                "digest sweep",
     )
-    @pytest.mark.parametrize("jobs", [1, 2])
-    def test_fig9_example_matches_reference_at_any_jobs(self, jobs):
+    @pytest.mark.parametrize(
+        "backend,jobs",
+        [("serial", 1), ("process", 2), ("subprocess:2", 2)],
+    )
+    def test_fig9_example_matches_reference_at_any_jobs(self, backend, jobs):
         """The shipped fig9 spec is bit-identical to `repro experiment
-        fig9` per the frozen reference digests, serial and sharded."""
+        fig9` per the frozen reference digests -- serial, sharded over
+        the pool, and dispatched over the subprocess transport."""
         policy = active_policy()
         reference = json.loads(
             reference_path(policy.name).read_text()
         )["fig9"]
         spec = load_spec(EXAMPLES / "fig9_sweep.toml")
-        result = run_sweep(spec, jobs=jobs)
+        result = run_sweep(spec, jobs=jobs, backend=backend)
         computed = {}
         for _, cell, run in result.extras["results"]:
             key = (

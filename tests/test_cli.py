@@ -127,7 +127,108 @@ class TestSweep:
         assert "jobs must be >= 0" in capsys.readouterr().err
 
 
+class TestBackend:
+    def test_sweep_runs_on_subprocess_backend(
+        self, tiny_spec_path, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "out"
+        code = main([
+            "sweep", str(tiny_spec_path), "--backend", "subprocess:2",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        assert "Aggregate by (policy, scenario)" in capsys.readouterr().out
+        document = json.loads(
+            (out_dir / "sweep_cli-tiny.json").read_text()
+        )
+        assert len(document["cells"]) == 2
+
+    def test_invalid_backend_exits_2(self, tiny_spec_path, capsys):
+        assert main([
+            "sweep", str(tiny_spec_path), "--backend", "quantum"
+        ]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_plan_validates_backend_and_prices_its_workers(
+        self, tiny_spec_path, capsys
+    ):
+        # --plan must reject a bad backend exactly like a real run...
+        assert main([
+            "sweep", str(tiny_spec_path), "--plan", "--backend", "quantum"
+        ]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+        # ...and price at the backend's own worker count, not --jobs.
+        assert main([
+            "sweep", str(tiny_spec_path), "--plan",
+            "--backend", "subprocess:2",
+        ]) == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_plan_honors_ambient_backend_env(
+        self, tiny_spec_path, capsys, monkeypatch
+    ):
+        # The printed plan must price what the real run would resolve:
+        # an ambient REPRO_BACKEND=serial pins one worker despite --jobs.
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        assert main([
+            "sweep", str(tiny_spec_path), "--plan", "--jobs", "8",
+        ]) == 0
+        assert "jobs=1" in capsys.readouterr().out
+
+    def test_backend_on_unsupported_experiment_warns(self, capsys):
+        assert main([
+            "experiment", "table1", "--backend", "serial"
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "does not route through" in captured.err
+        assert "Nt" in captured.out
+
+    def test_experiment_backend_serial_matches_default(self, capsys):
+        assert main([
+            "experiment", "table2", "--backend", "serial"
+        ]) == 0
+        assert "S1" in capsys.readouterr().out
+
+
+class TestKillAndResume:
+    def test_injected_abort_exits_3_then_resume_completes(
+        self, tiny_spec_path, tmp_path, capsys, monkeypatch
+    ):
+        out_dir = tmp_path / "out"
+        monkeypatch.setenv("REPRO_SWEEP_ABORT_AFTER_SHARDS", "1")
+        code = main([
+            "sweep", str(tiny_spec_path), "--out", str(out_dir),
+        ])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.err.startswith("repro: error:")
+        assert "injected abort" in captured.err
+        monkeypatch.delenv("REPRO_SWEEP_ABORT_AFTER_SHARDS")
+
+        code = main([
+            "sweep", str(tiny_spec_path), "--out", str(out_dir),
+            "--resume",
+        ])
+        assert code == 0
+        document = json.loads(
+            (out_dir / "sweep_cli-tiny.json").read_text()
+        )
+        assert len(document["cells"]) == 2
+
+    def test_resume_without_out_exits_2(self, tiny_spec_path, capsys):
+        assert main([
+            "sweep", str(tiny_spec_path), "--resume",
+        ]) == 2
+        assert "output directory" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_worker_subcommand_is_registered(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "worker" in capsys.readouterr().out
