@@ -10,11 +10,18 @@ Subcommands:
   completion journal ``--resume`` reads to skip already-finished shards).
 - ``worker`` -- (internal) shard worker speaking the JSON-lines protocol
   on stdio; launched by the subprocess backend, locally or over ssh.
+  With ``--queue DIR`` it pulls from a file-system job queue instead --
+  attachable to a running ``sweep --backend queue`` from any host that
+  shares the filesystem.
 - ``tune <pair>`` -- offline hyperparameter search (section VI-D).
 
-``--backend serial|process[:N]|subprocess[:N]`` (on ``experiment`` and
-``sweep``; also via ``$REPRO_BACKEND``) selects the execution transport;
-results are bit-identical on every backend at any worker count.
+``--backend serial|process[:N]|subprocess[:N]|queue[:N]`` (on
+``experiment`` and ``sweep``; also via ``$REPRO_BACKEND``) selects the
+execution transport; results are bit-identical on every backend at any
+worker count.  The queue backend is the fault-tolerant pull model:
+workers lease shards and heartbeat, and a SIGKILLed or wedged worker's
+lease expires (``$REPRO_LEASE_TTL``) so its shard is re-enqueued --
+see README "Fault tolerance".
 
 Exit statuses: configuration errors (unknown names, malformed sweep
 specs, invalid ``--jobs``/``--backend`` values) exit 2 with a one-line
@@ -166,12 +173,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_worker(_args: argparse.Namespace) -> int:
-    # Imported lazily: the worker loop owns stdio and is only ever useful
-    # as a child of the subprocess backend (or an ssh wrapper around it).
+def _cmd_worker(args: argparse.Namespace) -> int:
+    # Imported lazily: the stdio worker loop owns stdio and is only ever
+    # useful as a child of a backend (or attached to a queue directory).
     from repro.exec.worker import worker_main
 
-    return worker_main([])
+    argv = []
+    if args.queue is not None:
+        argv += ["--queue", str(args.queue)]
+    if args.drain:
+        argv += ["--drain"]
+    return worker_main(argv)
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -206,9 +218,9 @@ def main(argv: list[str] | None = None) -> int:
                             "(aggregates worker processes when combined "
                             "with --jobs)")
     p_exp.add_argument("--backend", default=None, metavar="KIND[:N]",
-                       help="execution backend: serial, process[:N], or "
-                            "subprocess[:N] (results are bit-identical "
-                            "on every backend)")
+                       help="execution backend: serial, process[:N], "
+                            "subprocess[:N], or queue[:N] (results are "
+                            "bit-identical on every backend)")
 
     p_run = sub.add_parser("run", help="run one system on one scenario")
     p_run.add_argument("system", choices=list(SYSTEM_BUILDERS))
@@ -239,20 +251,32 @@ def main(argv: list[str] | None = None) -> int:
                          help="print the compiled plan and cost estimate "
                               "without running anything")
     p_sweep.add_argument("--backend", default=None, metavar="KIND[:N]",
-                         help="execution backend: serial, process[:N], or "
-                              "subprocess[:N] (results are bit-identical "
-                              "on every backend)")
+                         help="execution backend: serial, process[:N], "
+                              "subprocess[:N], or queue[:N] -- the "
+                              "fault-tolerant pull model; with --out DIR "
+                              "the queue lives at DIR/queue so external "
+                              "workers can attach (results are "
+                              "bit-identical on every backend)")
     p_sweep.add_argument("--resume", action="store_true",
                          help="skip shards already recorded in the "
                               "completion journal under --out DIR "
                               "(requires --out; the finished document is "
                               "identical to an uninterrupted run)")
 
-    sub.add_parser(
+    p_worker = sub.add_parser(
         "worker",
-        help="(internal) shard worker speaking the JSON-lines protocol "
-             "on stdio; launched by the subprocess backend",
+        help="(internal) shard worker: JSON-lines protocol on stdio, or "
+             "pull-model with --queue DIR (attachable to a running "
+             "sweep from any host sharing the filesystem)",
     )
+    p_worker.add_argument("--queue", type=Path, default=None, metavar="DIR",
+                          help="pull shards from this queue directory "
+                               "instead of stdio (a sweep run with "
+                               "--backend queue --out DIR queues under "
+                               "DIR/queue)")
+    p_worker.add_argument("--drain", action="store_true",
+                          help="with --queue: exit once no pending work "
+                               "remains")
 
     p_tune = sub.add_parser("tune", help="offline hyperparameter search")
     p_tune.add_argument("pair", choices=list(MODEL_PAIRS))

@@ -172,8 +172,9 @@ def parallel_map(
     out through this rather than hand-rolling executors; results are
     identical at any jobs count.  The ambient backend selection applies
     with one caveat: arbitrary callables cannot cross the JSON shard
-    protocol, so ``subprocess`` degrades to the local process pool here
-    (``serial`` forces in-process, and a ``:N`` pins the worker count).
+    protocol, so ``subprocess`` and ``queue`` degrade to the local
+    process pool here (``serial`` forces in-process, and a ``:N`` pins
+    the worker count).
     The parent's active numeric policy is re-installed around every
     mapped call, so policy overrides survive into spawn-started workers
     exactly as they do for ``run_cells``.

@@ -6,10 +6,16 @@ into stream-sharing :class:`~repro.exec.shard.ShardSpec`\\ s, an
 (:class:`SerialBackend`), on the historical fork pool
 (:class:`ProcessPoolBackend`), or over the versioned JSON-lines stdio
 protocol to ``python -m repro worker`` children
-(:class:`SubprocessWorkerBackend`, ssh-able via ``$REPRO_WORKER_CMD``) --
-and the :class:`~repro.exec.scheduler.Scheduler` adds bounded per-shard
-retry with failed-worker exclusion plus the :class:`SweepJournal` that
-backs ``repro sweep --resume``.
+(:class:`SubprocessWorkerBackend`, ssh-able via ``$REPRO_WORKER_CMD``),
+or pulled from a file-system job queue with worker leases and heartbeats
+(:class:`~repro.exec.queue.QueueBackend` -- the transport that survives
+SIGKILLed workers and lets external ones attach mid-sweep) -- and the
+:class:`~repro.exec.scheduler.Scheduler` adds bounded per-shard retry
+with exponential backoff, failed-worker exclusion, poison-shard
+quarantine (:class:`ShardQuarantined`), plus the :class:`SweepJournal`
+that backs ``repro sweep --resume``.  The deterministic fault-injection
+layer (:mod:`repro.exec.faults`) exercises every one of those paths in
+tests and CI against the frozen reference digests.
 
 Every backend is bit-identical at any worker count: cells seed their own
 RNGs and shard payloads carry the numeric policy and cache root
@@ -36,16 +42,35 @@ from repro.exec.backends import (
     resolve_backend,
     use_backend,
 )
+from repro.exec.faults import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultEntry,
+    FaultPlan,
+    load_plan,
+    save_plan,
+)
+from repro.exec.queue import (
+    DEFAULT_LEASE_TTL_S,
+    LEASE_TTL_ENV,
+    QueueBackend,
+    queue_worker_main,
+)
 from repro.exec.scheduler import (
+    DEFAULT_BACKOFF_BASE_S,
+    DEFAULT_BACKOFF_CAP_S,
     DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_QUARANTINE_AFTER,
     Scheduler,
     SweepJournal,
+    backoff_delay,
     execute_cells,
 )
 from repro.exec.shard import (
     FAULT_TOKEN_ENV,
     Fig2Cell,
     ShardFailure,
+    ShardQuarantined,
     ShardResult,
     ShardSpec,
     SystemCell,
@@ -62,15 +87,26 @@ from repro.exec.shard import (
 __all__ = [
     "BACKEND_ENV",
     "BACKEND_KINDS",
+    "DEFAULT_BACKOFF_BASE_S",
+    "DEFAULT_BACKOFF_CAP_S",
+    "DEFAULT_LEASE_TTL_S",
     "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_QUARANTINE_AFTER",
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
     "FAULT_TOKEN_ENV",
     "ExecutionBackend",
+    "FaultEntry",
+    "FaultPlan",
     "Fig2Cell",
+    "LEASE_TTL_ENV",
     "ProcessPoolBackend",
+    "QueueBackend",
     "SHARD_TIMEOUT_ENV",
     "Scheduler",
     "SerialBackend",
     "ShardFailure",
+    "ShardQuarantined",
     "ShardResult",
     "ShardSpec",
     "SubprocessWorkerBackend",
@@ -78,16 +114,20 @@ __all__ = [
     "SystemCell",
     "WORKER_CMD_ENV",
     "active_backend_spec",
+    "backoff_delay",
     "cell_key",
     "cell_label",
     "execute_cells",
+    "load_plan",
     "make_backend",
     "make_shard_specs",
     "parse_backend",
     "plan_shards",
+    "queue_worker_main",
     "resolve_backend",
     "run_cell",
     "run_shard_cells",
+    "save_plan",
     "stream_signature",
     "use_backend",
     "warm_model_caches",

@@ -8,7 +8,7 @@ exception), aligned with the input.  Returning failures as values is what
 lets the :class:`~repro.exec.scheduler.Scheduler` retry individual shards
 without tearing down the batch.
 
-Three transports:
+Four transports:
 
 - :class:`SerialBackend` -- in-process, the exact code path the serial
   experiments have always used.
@@ -20,6 +20,12 @@ Three transports:
   workers are retired and replaced (bounded respawn budget); the launch
   command is overridable (``$REPRO_WORKER_CMD``), which is all an
   ``ssh host python -m repro worker`` deployment needs.
+- :class:`~repro.exec.queue.QueueBackend` -- the pull model: shards become
+  claimable message files in a queue directory, workers claim them by
+  atomic rename and heartbeat their leases, and an expired lease (not a
+  pipe) is the death signal.  The only transport that survives SIGKILLed
+  workers it did not spawn, and the one external workers can attach to
+  mid-sweep.
 
 Backend selection is ambient, mirroring the numeric policy: an explicit
 argument wins, then a :func:`use_backend` override, then ``$REPRO_BACKEND``,
@@ -45,13 +51,12 @@ from pathlib import Path
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.errors import ConfigurationError, ProtocolError
-from repro.exec import protocol
+from repro.exec import faults, protocol
 from repro.exec.shard import (
     ShardFailure,
     ShardResult,
     ShardSpec,
     cell_label,
-    consume_fault_token,
     run_cell,
     run_shard_cells,
 )
@@ -72,7 +77,7 @@ __all__ = [
 ]
 
 #: Environment variable selecting the ambient backend spec
-#: (``serial`` | ``process[:N]`` | ``subprocess[:N]``).
+#: (``serial`` | ``process[:N]`` | ``subprocess[:N]`` | ``queue[:N]``).
 BACKEND_ENV = "REPRO_BACKEND"
 
 #: Environment variable replacing the worker launch command (shlex-split);
@@ -87,7 +92,7 @@ WORKER_CMD_ENV = "REPRO_WORKER_CMD"
 SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
 
 #: The recognized backend kinds, in documentation order.
-BACKEND_KINDS = ("serial", "process", "subprocess")
+BACKEND_KINDS = ("serial", "process", "subprocess", "queue")
 
 
 @runtime_checkable
@@ -143,9 +148,16 @@ class SerialBackend:
 
 def _pool_run_shard(payload: tuple) -> tuple:
     """Pool-worker entry point (module-level so it pickles)."""
-    consume_fault_token()
-    cells, policy_name, profile = payload
-    return run_shard_cells(cells, policy_name, profile)
+    key, cells, policy_name, profile = payload
+    faults.on_claim(key)
+    results, snapshot = run_shard_cells(cells, policy_name, profile)
+    # Pool replies are in-process Python objects, not encoded bytes, so
+    # there are no bytes to garble: a ``corrupt-result`` firing drops the
+    # last per-cell result instead, which the parent's length-vs-spec
+    # check must reject before anything reaches a journal.
+    if faults.reply_fault(key) is not None:
+        results = results[:-1]
+    return results, snapshot
 
 
 class ProcessPoolBackend:
@@ -177,7 +189,8 @@ class ProcessPoolBackend:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         futures = [
             self._pool.submit(
-                _pool_run_shard, (spec.cells, spec.policy, spec.profile)
+                _pool_run_shard,
+                (spec.key, spec.cells, spec.policy, spec.profile),
             )
             for spec in specs
         ]
@@ -213,6 +226,21 @@ class ProcessPoolBackend:
                     )
                 )
             else:
+                if len(results) != len(spec.cells):
+                    # A short reply must never be journaled as a completed
+                    # shard; retriable -- the next attempt recomputes it
+                    # whole on a fresh pool worker.
+                    outcomes.append(
+                        ShardFailure(
+                            f"pool worker returned {len(results)} results "
+                            f"for a {len(spec.cells)}-cell shard",
+                            shard_key=spec.key,
+                            cells=tuple(
+                                cell_label(c) for c in spec.cells
+                            ),
+                        )
+                    )
+                    continue
                 outcomes.append(
                     ShardResult(
                         key=spec.key,
@@ -604,11 +632,17 @@ def parse_backend(spec: str) -> tuple[str, int | None]:
     return kind, workers
 
 
-def make_backend(spec: str, default_workers: int = 1) -> ExecutionBackend:
+def make_backend(
+    spec: str,
+    default_workers: int = 1,
+    queue_dir: str | None = None,
+) -> ExecutionBackend:
     """Instantiate a backend from ``"kind[:N]"``.
 
     ``default_workers`` (typically the caller's resolved ``jobs``) fills
-    in when the spec carries no ``:N`` of its own.
+    in when the spec carries no ``:N`` of its own.  ``queue_dir`` pins
+    the queue backend's directory (None = a private temp queue); other
+    kinds ignore it.
     """
     kind, workers = parse_backend(spec)
     if workers is None:
@@ -617,10 +651,14 @@ def make_backend(spec: str, default_workers: int = 1) -> ExecutionBackend:
         return SerialBackend()
     if kind == "process":
         return ProcessPoolBackend(workers)
+    if kind == "queue":
+        from repro.exec.queue import QueueBackend
+
+        return QueueBackend(workers, directory=queue_dir)
     return SubprocessWorkerBackend(workers)
 
 
-def resolve_backend(backend, jobs: int, num_cells: int):
+def resolve_backend(backend, jobs: int, num_cells: int, queue_dir: str | None = None):
     """Apply the selection precedence once, for every entry point.
 
     Precedence: explicit ``backend`` (spec string or instance) >
@@ -629,13 +667,15 @@ def resolve_backend(backend, jobs: int, num_cells: int):
     process pool above).  Returns ``(instance, planning worker count,
     owned)`` -- ``owned`` tells the caller whether it must ``close()``
     the instance (specs are instantiated here; caller-constructed
-    instances stay the caller's to manage).
+    instances stay the caller's to manage).  ``queue_dir`` routes a
+    spec-instantiated queue backend's directory (the sweep runner pins it
+    under ``--out`` so external workers can find it).
     """
     spec = backend if backend is not None else active_backend_spec()
     if spec is None:
         spec = "serial" if jobs <= 1 or num_cells <= 1 else "process"
     if isinstance(spec, str):
-        instance = make_backend(spec, default_workers=jobs)
+        instance = make_backend(spec, default_workers=jobs, queue_dir=queue_dir)
         owned = True
     else:
         instance = spec

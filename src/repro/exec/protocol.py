@@ -7,6 +7,16 @@ because shard payloads carry their numeric policy and cache root explicitly
 location-transparent on a shared filesystem), the identical byte stream
 works over ``ssh host python -m repro worker``.
 
+Two framings share the one encoding:
+
+- **Request/response** (:func:`write_message` / :func:`read_message`):
+  newline-delimited over a live pipe; what the subprocess backend speaks.
+- **Store-and-forward** (:func:`write_message_file` /
+  :func:`read_message_file`): one message per file, posted by atomic
+  rename; what the pull-model queue backend (:mod:`repro.exec.queue`)
+  speaks.  Same bytes, so a ``result`` posted to a queue decodes through
+  the very codepath a piped ``result`` does -- bit-exact either way.
+
 Message kinds (every message carries ``"v": PROTOCOL_VERSION``):
 
 - ``hello``    worker -> parent, once at startup: ``{pid}``.  The parent
@@ -36,6 +46,8 @@ from __future__ import annotations
 
 import base64
 import json
+import os
+from pathlib import Path
 from typing import IO
 
 import numpy as np
@@ -58,7 +70,9 @@ __all__ = [
     "encode_shard_request",
     "encode_shard_result",
     "read_message",
+    "read_message_file",
     "write_message",
+    "write_message_file",
 ]
 
 #: Bump on any incompatible message-shape change; parent and worker refuse
@@ -301,3 +315,41 @@ def read_message(stream: IO[str]) -> dict | None:
         line = line.strip()
         if line:
             return decode_message(line)
+
+
+def write_message_file(path: str | Path, message: dict) -> Path:
+    """Store-and-forward framing: one message per file, atomically.
+
+    The queue transport's variant of :func:`write_message`: the identical
+    JSON-lines encoding (results round-trip bit-exactly either way), but
+    framed as a whole file whose *appearance* is the delivery event.  The
+    message is written to a temp file in the same directory, fsynced, and
+    ``os.replace``\\ d into place -- a reader can never observe a partial
+    message, and a writer killed mid-post leaves only a temp file the
+    queue ignores.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w") as handle:
+        handle.write(encode_message(message) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_message_file(path: str | Path) -> dict | None:
+    """Read one store-and-forward message file; None if it is not there.
+
+    Raises :class:`ProtocolError` for a file that exists but does not
+    parse or speaks the wrong protocol version -- a *corrupt* message
+    must surface as a typed failure, never be skipped as if undelivered.
+    """
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        return None
+    line = text.strip()
+    if not line:
+        raise ProtocolError(f"message file {path} is empty")
+    return decode_message(line.splitlines()[0])

@@ -1,22 +1,43 @@
-"""The scheduler: bounded per-shard retry, completion journal, merge.
+"""The scheduler: backoff/quarantine retry, completion journal, merge.
 
 Layered on any :class:`~repro.exec.backends.ExecutionBackend`:
 
-- **Retry.**  A shard whose outcome is a
+- **Retry.**  A shard whose outcome is a retriable
   :class:`~repro.exec.shard.ShardFailure` is resubmitted (fresh pool /
   replacement worker) up to :data:`DEFAULT_MAX_ATTEMPTS` times; workers
-  observed failing are excluded from later attempts.  Retrying is *safe*
-  because shard execution is deterministic -- a retried shard reproduces
-  the original results bit-identically -- and only when every attempt is
-  spent does the typed failure propagate, naming the cells that are
-  missing.
+  observed failing are excluded from later attempts.  Retries are paced
+  by *per-shard exponential backoff with deterministic jitter*
+  (:func:`backoff_delay`): each failed shard waits
+  ``base * 2**(attempt-1)`` seconds scaled by a jitter derived from
+  ``sha256(shard key, attempt)`` -- reproducible run to run, yet
+  decorrelated across shards, so a fleet-wide hiccup does not resubmit
+  every shard in lockstep.  Retrying is *safe* because shard execution is
+  deterministic -- a retried shard reproduces the original results
+  bit-identically -- and only when every attempt is spent does the typed
+  failure propagate, naming the cells that are missing.
+- **Quarantine.**  A *poison shard* -- one observed killing
+  :data:`DEFAULT_QUARANTINE_AFTER` distinct workers -- is quarantined
+  rather than retried to the attempts bound: its input reliably destroys
+  whatever executes it, so feeding it more of the fleet converts one bad
+  shard into a dead fleet.  The typed :class:`ShardQuarantined` failure
+  names the shard's cells and the workers it took down.
 - **Journal.**  :class:`SweepJournal` appends one JSON line per completed
   shard (cell keys + bit-exact encoded results) under the sweep's output
   directory.  ``repro sweep --resume`` reloads it, skips every finished
   cell, and re-merges the decoded results into the final document --
   identical to an uninterrupted run.  Entries are keyed per *cell* (pure
   content, no worker count), so a journal written at ``--jobs 8`` resumes
-  correctly at ``--jobs 1``.
+  correctly at ``--jobs 1``.  Creation and appends are crash-safe: the
+  header lands by temp-file + fsync + atomic rename (a kill between
+  journal creation and the first shard cannot leave a torn header), and
+  every record is fsynced -- with the directory entry -- before the
+  scheduler moves on.
+
+Failure ordering: when a batch produces both successes and a fatal
+(non-retriable) failure, every success is processed -- journaled,
+``on_complete`` fired -- *before* the failure raises.  Anything less
+silently discards finished work: a ``--resume`` would recompute shards
+that had already completed.
 
 :func:`execute_cells` is the one engine everything routes through:
 ``run_cells``, the figure experiments behind it, and ``run_sweep`` -- it
@@ -26,8 +47,11 @@ order, and folds worker profile snapshots into the parent's profiler.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -35,11 +59,12 @@ from repro import profiling
 from repro.cache import CACHE_ENV
 from repro.core.results import RunResult
 from repro.errors import ConfigurationError
-from repro.exec import protocol
+from repro.exec import faults, protocol
 from repro.exec.backends import ExecutionBackend
 from repro.exec.shard import (
     CELL_TYPES,
     ShardFailure,
+    ShardQuarantined,
     ShardResult,
     ShardSpec,
     cell_key,
@@ -49,22 +74,72 @@ from repro.exec.shard import (
 from repro.numeric import active_policy
 
 __all__ = [
+    "DEFAULT_BACKOFF_BASE_S",
+    "DEFAULT_BACKOFF_CAP_S",
     "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_QUARANTINE_AFTER",
     "JOURNAL_VERSION",
     "Scheduler",
     "SweepJournal",
+    "backoff_delay",
     "execute_cells",
 ]
 
 #: Times a shard may be attempted before its failure propagates.
 DEFAULT_MAX_ATTEMPTS = 3
 
+#: First-retry backoff; doubles per subsequent attempt.
+DEFAULT_BACKOFF_BASE_S = 0.25
+
+#: Ceiling on any single backoff wait.
+DEFAULT_BACKOFF_CAP_S = 30.0
+
+#: Distinct workers a shard may kill before it is quarantined as poison.
+#: Matches :data:`DEFAULT_MAX_ATTEMPTS` so the default contract -- a shard
+#: may be attempted three times -- is unchanged; when all three failures
+#: came from *distinct* workers the richer quarantine diagnosis replaces
+#: the plain exhaustion error.  Lower it (e.g. with a larger attempts
+#: budget) to cut off poison shards before they chew through the bound.
+DEFAULT_QUARANTINE_AFTER = 3
+
 #: Schema version of the journal file.
 JOURNAL_VERSION = 1
 
 
+def backoff_delay(
+    shard_key: str,
+    attempt: int,
+    base_s: float = DEFAULT_BACKOFF_BASE_S,
+    cap_s: float = DEFAULT_BACKOFF_CAP_S,
+) -> float:
+    """Seconds to wait before retrying ``shard_key`` after ``attempt`` failures.
+
+    Exponential (``base * 2**(attempt-1)``) with *deterministic* jitter:
+    the multiplier in [1, 2) derives from ``sha256(shard_key, attempt)``,
+    so two runs of the same plan pace identically (reproducible tests,
+    comparable benchmarks) while different shards failing together fan
+    their retries out instead of stampeding the fleet in lockstep.
+    """
+    if base_s <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"{shard_key}|{attempt}".encode()).digest()
+    jitter = 1.0 + int.from_bytes(digest[:8], "big") / 2**64
+    return min(cap_s, base_s * (2 ** (attempt - 1)) * jitter)
+
+
+@dataclass
+class _PendingShard:
+    """Book-keeping for one not-yet-completed shard."""
+
+    index: int
+    spec: ShardSpec
+    attempts: int = 0
+    not_before: float = 0.0
+    killers: set = field(default_factory=set)
+
+
 class Scheduler:
-    """Run shard specs through a backend with bounded per-shard retry.
+    """Run shard specs through a backend with backoff/quarantine retry.
 
     Args:
         backend: The transport executing shards.
@@ -72,6 +147,15 @@ class Scheduler:
         on_complete: Called with ``(spec, shard_result)`` as each shard
             finishes (journaling hook); exceptions it raises abort the
             run immediately -- completed shards stay journaled.
+        backoff_base_s: First-retry wait (doubles per attempt, seeded
+            jitter; see :func:`backoff_delay`).  0 retries immediately --
+            what in-process tests want.
+        backoff_cap_s: Ceiling on any single backoff wait.
+        quarantine_after: Distinct workers a shard may kill before it is
+            quarantined as poison (:class:`ShardQuarantined`) instead of
+            being fed more of the fleet.  Backends with anonymous workers
+            (the process pool) never identify killers, so there the
+            attempts bound governs alone.
     """
 
     def __init__(
@@ -79,33 +163,61 @@ class Scheduler:
         backend: ExecutionBackend,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         on_complete: Callable[[ShardSpec, ShardResult], None] | None = None,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
     ) -> None:
         if max_attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {max_attempts}"
             )
+        if quarantine_after < 1:
+            raise ConfigurationError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
         self.backend = backend
         self.max_attempts = max_attempts
         self.on_complete = on_complete
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.quarantine_after = quarantine_after
 
     def run(self, specs: Sequence[ShardSpec]) -> list[ShardResult]:
         """Execute every spec, retrying failures; outcomes align with input.
 
         Raises:
+            ShardQuarantined: A poison shard killed ``quarantine_after``
+                distinct workers; it is non-retriable by construction.
             ShardFailure: A shard still failed after ``max_attempts``
-                attempts (the last failure, stamped with the count).
+                attempts (the last failure, stamped with the count), or
+                failed non-retriably (a deterministic in-cell error).
         """
         outcomes: list[ShardResult | None] = [None] * len(specs)
-        pending = list(enumerate(specs))
+        pending = [
+            _PendingShard(index, spec) for index, spec in enumerate(specs)
+        ]
         excluded: set[str] = set()
-        last_failure: ShardFailure | None = None
-        for attempt in range(1, self.max_attempts + 1):
-            if not pending:
-                break
-            batch = [spec for _, spec in pending]
-            results = self.backend.run(batch, excluded=frozenset(excluded))
-            retry = []
-            for position, (index, spec) in enumerate(pending):
+        while pending:
+            now = time.monotonic()
+            ready = [entry for entry in pending if entry.not_before <= now]
+            if not ready:
+                # Every remaining shard is inside its backoff window.
+                time.sleep(
+                    min(entry.not_before for entry in pending) - now
+                )
+                continue
+            waiting = [entry for entry in pending if entry.not_before > now]
+            results = self.backend.run(
+                [entry.spec for entry in ready],
+                excluded=frozenset(excluded),
+            )
+            # A fatal outcome is *deferred* to the end of the batch:
+            # successes that share the batch must reach on_complete (be
+            # journaled) first, or a --resume recomputes finished work.
+            fatal: ShardFailure | None = None
+            retry: list[_PendingShard] = []
+            for position, entry in enumerate(ready):
+                spec = entry.spec
                 # Never trust the backend's alignment: a short or
                 # misfilled outcome list (e.g. a dispatch thread dying)
                 # must not masquerade as completed shards.
@@ -117,30 +229,68 @@ class Scheduler:
                         "backend returned no outcome for the shard",
                         shard_key=spec.key,
                     )
-                if isinstance(outcome, ShardFailure):
-                    if not outcome.retriable:
-                        # A cell raised deterministically inside a
-                        # healthy worker: recomputing it would reproduce
-                        # the exception, so surface it now -- as the
-                        # original exception when it is available
-                        # in-process, keeping the error contract
-                        # identical to the serial path.
-                        if outcome.cause_exception is not None:
-                            raise outcome.cause_exception from outcome
-                        raise outcome
-                    last_failure = outcome
-                    if outcome.worker:
-                        excluded.add(outcome.worker)
-                    retry.append((index, spec))
-                else:
-                    outcomes[index] = outcome
+                if isinstance(outcome, ShardResult):
+                    outcomes[entry.index] = outcome
                     if self.on_complete is not None:
                         self.on_complete(spec, outcome)
-            pending = retry
-        if pending:
-            assert last_failure is not None
-            raise last_failure.with_attempts(self.max_attempts)
+                    continue
+                entry.attempts += 1
+                if not outcome.retriable:
+                    # A cell raised deterministically inside a healthy
+                    # worker: recomputing it would reproduce the
+                    # exception, so it surfaces (after the batch's
+                    # successes are journaled) -- as the original
+                    # exception when it is available in-process, keeping
+                    # the error contract identical to the serial path.
+                    fatal = fatal or outcome
+                    continue
+                if outcome.worker:
+                    excluded.add(outcome.worker)
+                    entry.killers.add(outcome.worker)
+                if len(entry.killers) >= self.quarantine_after:
+                    fatal = fatal or ShardQuarantined(
+                        f"poison shard: killed {len(entry.killers)} "
+                        "distinct workers, quarantined as non-retriable",
+                        shard_key=spec.key,
+                        cells=outcome.cells,
+                        worker=", ".join(sorted(entry.killers)),
+                        attempts=entry.attempts,
+                        cause=outcome.cause,
+                    )
+                    continue
+                if entry.attempts >= self.max_attempts:
+                    fatal = fatal or outcome.with_attempts(entry.attempts)
+                    continue
+                entry.not_before = time.monotonic() + backoff_delay(
+                    spec.key,
+                    entry.attempts,
+                    self.backoff_base_s,
+                    self.backoff_cap_s,
+                )
+                retry.append(entry)
+            if fatal is not None:
+                if (
+                    not fatal.retriable
+                    and fatal.cause_exception is not None
+                ):
+                    raise fatal.cause_exception from fatal
+                raise fatal
+            pending = waiting + retry
         return outcomes  # type: ignore[return-value]
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class SweepJournal:
@@ -162,6 +312,19 @@ class SweepJournal:
         self._completed: dict[str, RunResult] = {}
         if resume and self.path.exists():
             self._load()
+            # A kill mid-append leaves a torn final line with no newline;
+            # appending straight after it would glue the next record onto
+            # the junk and destroy it.  Terminate the torn line now so it
+            # stands alone (skipped by every later load).
+            with self.path.open("rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size:
+                    handle.seek(size - 1)
+                    torn_tail = handle.read(1) != b"\n"
+            if torn_tail:
+                with self.path.open("a") as handle:
+                    handle.write("\n")
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             header = {
@@ -169,7 +332,17 @@ class SweepJournal:
                 "version": JOURNAL_VERSION,
                 "fingerprint": fingerprint,
             }
-            self.path.write_text(json.dumps(header) + "\n")
+            # Temp-file + fsync + atomic rename (+ directory fsync): a
+            # kill between journal creation and the first shard must
+            # leave either no journal or a complete header -- a torn
+            # header would poison every later --resume of this sweep.
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with tmp.open("w") as handle:
+                handle.write(json.dumps(header) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            _fsync_dir(self.path.parent)
 
     def _load(self) -> None:
         lines = self.path.read_text().splitlines()
@@ -217,7 +390,8 @@ class SweepJournal:
         return self._completed.get(key)
 
     def record(self, spec: ShardSpec, result: ShardResult) -> None:
-        """Append one completed shard (flushed before returning)."""
+        """Append one completed shard (fsynced -- file and directory --
+        before returning), so a kill immediately after never loses it."""
         entries = [
             {
                 "key": cell_key(spec.policy, cell),
@@ -229,10 +403,24 @@ class SweepJournal:
             {"kind": "shard", "shard": spec.key, "entries": entries},
             separators=(",", ":"),
         )
+        torn = faults.journal_fault(spec.key)
         with self.path.open("a") as handle:
+            if torn is not None:
+                # Injected kill mid-append: flush a prefix of the line
+                # to disk and abort -- exactly the torn tail _load()
+                # must tolerate on the next --resume.
+                handle.write(line[: max(1, int(len(line) * torn))])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise ShardFailure(
+                    "injected torn journal write "
+                    f"({faults.FAULT_PLAN_ENV} plan)",
+                    shard_key=spec.key,
+                )
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        _fsync_dir(self.path.parent)
         for entry, run in zip(entries, result.results):
             self._completed[entry["key"]] = run
 

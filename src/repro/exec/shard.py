@@ -30,6 +30,7 @@ from typing import Iterable, Sequence
 
 from repro import profiling
 from repro.core.results import RunResult
+from repro.exec import faults
 from repro.core.runner import build_fig2_system, build_system, run_on_scenario
 from repro.errors import ConfigurationError, ExecutionError
 from repro.learn.student import make_student
@@ -41,6 +42,7 @@ __all__ = [
     "FAULT_TOKEN_ENV",
     "Fig2Cell",
     "ShardFailure",
+    "ShardQuarantined",
     "ShardResult",
     "ShardSpec",
     "SystemCell",
@@ -57,26 +59,20 @@ __all__ = [
 
 #: Fault-injection hook (tests, CI's kill-and-resume leg): when this
 #: variable names an existing file, the next worker to *claim* it dies.
-FAULT_TOKEN_ENV = "REPRO_EXEC_DIE_TOKEN"
+#: The general mechanism now lives in :mod:`repro.exec.faults`
+#: (``REPRO_FAULT_PLAN``); this single-fault hook is kept verbatim.
+FAULT_TOKEN_ENV = faults.FAULT_TOKEN_ENV
 
 
 def consume_fault_token() -> None:
     """Die abruptly -- once, fleet-wide -- if the fault token is armed.
 
     Workers (pool and subprocess alike) call this before executing each
-    shard.  The unlink is the atomic claim: exactly one process across
-    the fleet wins it and exits without replying, which is precisely the
-    mid-shard crash the scheduler's retry path must absorb.  Deterministic
-    (unlike kill-after-a-timer), so CI can assert on the aftermath.
+    shard.  Kept as a compatibility alias; the claim semantics (unlink =
+    atomic, exactly-once) are documented in
+    :func:`repro.exec.faults.consume_die_token`.
     """
-    path = os.environ.get(FAULT_TOKEN_ENV)
-    if not path:
-        return
-    try:
-        os.unlink(path)
-    except OSError:
-        return
-    os._exit(13)
+    faults.consume_die_token()
 
 
 @dataclass(frozen=True)
@@ -329,6 +325,24 @@ class ShardFailure(ExecutionError):
             retriable=self.retriable,
             cause_exception=self.cause_exception,
         )
+
+
+class ShardQuarantined(ShardFailure):
+    """A poison shard: it killed enough distinct workers to be quarantined.
+
+    Raised by the :class:`~repro.exec.scheduler.Scheduler` when one shard
+    is observed taking down ``quarantine_after`` different workers --
+    the signature of an input that reliably destroys whatever executes
+    it (a segfaulting corner case, an OOM-sized cell), as opposed to
+    workers that happen to be flaky.  Retrying poison converts one bad
+    shard into a dead fleet, so the failure is non-retriable by
+    construction and names the cells (and the workers taken down) so the
+    operator can reproduce the kill in isolation.
+    """
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs["retriable"] = False
+        super().__init__(message, **kwargs)
 
 
 def shard_key(policy_name: str, cells: Sequence) -> str:

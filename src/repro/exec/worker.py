@@ -11,6 +11,12 @@ startup and ``sys.stdout`` is repointed at stderr, so a stray ``print``
 anywhere in the simulation degrades to log noise instead of corrupting
 the message stream.  That discipline is what lets the identical worker
 run behind ``ssh host python -m repro worker``.
+
+With ``--queue DIR`` the same entry point serves the *pull* model
+instead: no stdio protocol, no parent pipe -- the worker claims shard
+message files from a queue directory, heartbeats its leases, and posts
+results back (see :mod:`repro.exec.queue`).  Any process that can reach
+the directory may attach this way, mid-sweep included.
 """
 
 from __future__ import annotations
@@ -22,8 +28,8 @@ import traceback
 
 from repro.cache import CACHE_ENV
 from repro.errors import ProtocolError
-from repro.exec import protocol
-from repro.exec.shard import consume_fault_token, run_shard_cells
+from repro.exec import faults, protocol
+from repro.exec.shard import run_shard_cells
 
 __all__ = ["worker_main"]
 
@@ -34,9 +40,30 @@ def worker_main(argv: list[str] | None = None) -> int:
         prog="repro worker",
         description="shard worker speaking the JSON-lines protocol "
         "on stdio (launched by the subprocess backend, locally or "
-        "over ssh)",
+        "over ssh), or pulling from a queue directory with --queue",
     )
-    parser.parse_args(argv or [])
+    parser.add_argument(
+        "--queue",
+        metavar="DIR",
+        default=None,
+        help="pull shards from this queue directory instead of stdio "
+        "(claim by atomic rename, heartbeat the lease, post results "
+        "back); attachable to a running sweep from any host sharing "
+        "the filesystem",
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="with --queue: exit once the queue has no pending work "
+        "(the natural shape for batch/k8s-style worker pods)",
+    )
+    args = parser.parse_args(argv or [])
+    if args.drain and args.queue is None:
+        parser.error("--drain requires --queue")
+    if args.queue is not None:
+        from repro.exec.queue import queue_worker_main
+
+        return queue_worker_main(args.queue, drain=args.drain)
 
     def send_error(channel, message_id, error, trace=None):
         protocol.write_message(
@@ -87,7 +114,7 @@ def worker_main(argv: list[str] | None = None) -> int:
                 f"unexpected message kind {kind!r}",
             )
             continue
-        consume_fault_token()
+        faults.on_claim(str(message.get("id") or ""))
         try:
             spec = protocol.decode_shard_spec(message)
             if spec.cache_root is not None:
@@ -107,10 +134,11 @@ def worker_main(argv: list[str] | None = None) -> int:
                 f"{type(exc).__name__}: {exc}", traceback.format_exc(),
             )
             continue
-        protocol.write_message(
-            channel,
-            protocol.encode_shard_result(spec.key, results, snapshot),
-        )
+        reply = protocol.encode_shard_result(spec.key, results, snapshot)
+        mode = faults.reply_fault(spec.key)
+        if mode is not None:
+            reply = faults.corrupt_reply(reply, mode)
+        protocol.write_message(channel, reply)
     return 0
 
 

@@ -95,12 +95,17 @@ def run_sweep(
         jobs: Worker processes per policy group; 1 runs serially, 0 means
             "all cores".  Results are identical at any worker count.
         backend: Execution backend spec string (``serial`` /
-            ``process[:N]`` / ``subprocess[:N]``) or instance; None
-            consults the ambient selection (``use_backend`` /
-            ``$REPRO_BACKEND``) and falls back to the historical default.
+            ``process[:N]`` / ``subprocess[:N]`` / ``queue[:N]``) or
+            instance; None consults the ambient selection
+            (``use_backend`` / ``$REPRO_BACKEND``) and falls back to the
+            historical default.
         out_dir: Directory the completion journal is written under as
             shards finish (required for ``resume``).  The JSON/CSV
-            artifacts still come from :func:`write_outputs`.
+            artifacts still come from :func:`write_outputs`.  A
+            spec-selected queue backend pins its queue directory at
+            ``out_dir/queue``, so external ``repro worker --queue``
+            processes can find it (without ``out_dir`` the queue lives in
+            a private temp directory).
         resume: Reload the journal and skip cells it already holds; the
             resulting document is identical to an uninterrupted run's.
 
@@ -116,8 +121,11 @@ def run_sweep(
     if jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
     workers = jobs if jobs > 0 else default_jobs()
+    queue_dir = (
+        str(Path(out_dir) / "queue") if out_dir is not None else None
+    )
     backend_obj, plan_workers, owned = resolve_backend(
-        backend, workers, plan.num_cells
+        backend, workers, plan.num_cells, queue_dir=queue_dir
     )
     # Price the sweep at the worker count it will actually execute with
     # (a backend spec carrying its own :N overrides --jobs).

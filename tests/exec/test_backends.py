@@ -275,3 +275,31 @@ class TestWorkerDeath:
         assert "w0:pid1" in str(final)
         assert "EOF" in str(final)
         assert "attempts: 3" in str(final)
+
+
+class TestWorkerExclusion:
+    def test_excluded_subprocess_worker_is_retired_and_replaced(self):
+        # The scheduler's exclusion contract, observed at the transport:
+        # a worker named in ``excluded`` is killed before the batch runs,
+        # and the retried shard is served by a fresh replacement -- never
+        # by the excluded worker.
+        from repro.exec import make_shard_specs
+        from repro.numeric import active_policy
+
+        backend = SubprocessWorkerBackend(1)
+        specs = make_shard_specs(CELLS[:1], 1, active_policy().name)
+        try:
+            [first] = backend.run(specs)
+            (old,) = backend._handles.values()
+            old_id, old_proc = old.id, old.proc
+            [second] = backend.run(
+                specs, excluded=frozenset({old_id})
+            )
+            (replacement,) = backend._handles.values()
+        finally:
+            backend.close()
+        assert old_proc.poll() is not None  # retired worker is dead
+        assert replacement.id != old_id
+        assert run_digest(first.results[0]) == run_digest(
+            second.results[0]
+        )

@@ -1,0 +1,225 @@
+"""Tests for the pull-model queue backend: claims, leases, reclaim, faults."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.parallel import run_cells
+from repro.errors import ConfigurationError
+from repro.exec import (
+    QueueBackend,
+    ShardFailure,
+    SystemCell,
+    execute_cells,
+    faults,
+    make_backend,
+    make_shard_specs,
+    parse_backend,
+    protocol,
+    use_backend,
+)
+from repro.exec.queue import QueueLayout, queue_worker_main
+from repro.reference import run_digest
+
+DURATION = 60.0
+
+CELLS = [
+    SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S1", 0, DURATION),
+    SystemCell("OrinHigh-Ekya", "resnet18_wrn50", "S4", 0, DURATION),
+    SystemCell("OrinHigh-EOMU", "resnet18_wrn50", "S1", 0, DURATION),
+]
+
+
+@pytest.fixture(scope="module")
+def serial_digests():
+    return [run_digest(r) for r in run_cells(CELLS, jobs=1)]
+
+
+class TestParseAndMake:
+    def test_queue_spec_parses(self):
+        assert parse_backend("queue") == ("queue", None)
+        assert parse_backend("queue:3") == ("queue", 3)
+
+    def test_make_backend_builds_queue(self, tmp_path):
+        backend = make_backend(
+            "queue:2", queue_dir=str(tmp_path / "q")
+        )
+        try:
+            assert isinstance(backend, QueueBackend)
+            assert backend.workers == 2
+            assert backend.layout.root == tmp_path / "q"
+            assert backend.layout.pending.is_dir()
+        finally:
+            backend.close()
+        # A pinned directory is the caller's: close() must not remove it.
+        assert (tmp_path / "q").is_dir()
+
+    def test_owned_temp_directory_removed_on_close(self):
+        backend = QueueBackend(1)
+        root = backend.layout.root
+        assert root.is_dir()
+        backend.close()
+        assert not root.exists()
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            QueueBackend(0)
+
+    def test_worker_refuses_a_non_queue_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            queue_worker_main(tmp_path / "not-a-queue", drain=True)
+
+
+class TestQueueExecution:
+    def test_bit_identical_to_serial(self, serial_digests):
+        with use_backend("queue:2"):
+            results = run_cells(CELLS, jobs=2)
+        assert [run_digest(r) for r in results] == serial_digests
+
+    def test_die_once_is_retried_and_killer_banned(
+        self, serial_digests, tmp_path, monkeypatch
+    ):
+        plan = faults.save_plan(
+            faults.FaultPlan((faults.FaultEntry("die-once"),), seed=5),
+            tmp_path / "plan.json",
+        )
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, str(plan))
+        backend = QueueBackend(2, directory=tmp_path / "q")
+        try:
+            results = execute_cells(CELLS, backend=backend, workers=2)
+        finally:
+            backend.close()
+        assert [run_digest(r) for r in results] == serial_digests
+        assert not list(faults.tokens_dir(plan).iterdir())
+        # The scheduler excluded the dead worker; the backend banned it.
+        assert len(list((tmp_path / "q" / "banned").iterdir())) == 1
+
+    def test_hang_reclaimed_by_lease_expiry(
+        self, serial_digests, tmp_path, monkeypatch
+    ):
+        plan = faults.save_plan(
+            faults.FaultPlan((faults.FaultEntry("hang"),), seed=5),
+            tmp_path / "plan.json",
+        )
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, str(plan))
+        # The hung worker never heartbeats: its lease's mtime stays at
+        # the claim instant, the TTL expires, and the shard is reclaimed
+        # and re-enqueued for a surviving worker -- the acceptance path.
+        backend = QueueBackend(
+            2, directory=tmp_path / "q", lease_ttl_s=2.0
+        )
+        try:
+            results = execute_cells(CELLS, backend=backend, workers=2)
+        finally:
+            backend.close()
+        assert [run_digest(r) for r in results] == serial_digests
+        assert len(list((tmp_path / "q" / "banned").iterdir())) == 1
+
+    def test_corrupt_reply_rejected_and_recomputed(
+        self, serial_digests, tmp_path, monkeypatch
+    ):
+        plan = faults.save_plan(
+            faults.FaultPlan(
+                (faults.FaultEntry("corrupt-result"),), seed=5
+            ),
+            tmp_path / "plan.json",
+        )
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, str(plan))
+        backend = QueueBackend(2, directory=tmp_path / "q")
+        try:
+            results = execute_cells(CELLS, backend=backend, workers=2)
+        finally:
+            backend.close()
+        assert [run_digest(r) for r in results] == serial_digests
+        assert not list(faults.tokens_dir(plan).iterdir())
+
+    def test_in_cell_error_is_non_retriable(self):
+        backend = QueueBackend(1)
+        try:
+            with pytest.raises(ShardFailure) as excinfo:
+                execute_cells(
+                    [
+                        SystemCell(
+                            "NoSuchSystem",
+                            "resnet18_wrn50",
+                            "S1",
+                            0,
+                            DURATION,
+                        )
+                    ],
+                    backend=backend,
+                    workers=1,
+                )
+        finally:
+            backend.close()
+        assert not excinfo.value.retriable
+        assert excinfo.value.attempts == 1
+
+
+class TestPullModel:
+    def test_external_drain_worker_serves_a_prefilled_queue(
+        self, tmp_path, serial_digests
+    ):
+        """Any process can attach: pre-fill a queue, drain it, read results."""
+        layout = QueueLayout(tmp_path / "q").create(
+            lease_ttl_s=30.0, poll_s=0.05
+        )
+        specs = make_shard_specs(CELLS, 1, "float64")
+        for spec in specs:
+            protocol.write_message_file(
+                layout.pending / layout.message_name(spec.key),
+                protocol.encode_shard_request(spec),
+            )
+        assert queue_worker_main(layout.root, drain=True) == 0
+        assert not list(layout.pending.iterdir())
+        ordered = {}
+        for spec in specs:
+            message = protocol.read_message_file(
+                layout.results / layout.message_name(spec.key)
+            )
+            assert message["kind"] == "result"
+            assert message["worker"].startswith("q")
+            decoded = protocol.decode_shard_result(message)
+            assert len(decoded.results) == len(spec.cells)
+            ordered.update(zip(spec.indices, decoded.results))
+        results = [ordered[i] for i in range(len(CELLS))]
+        assert [run_digest(r) for r in results] == serial_digests
+
+    def test_banned_worker_never_claims_again(self, tmp_path):
+        """The exclusion contract on the queue transport: once the
+        scheduler names a worker in ``excluded``, the ban marker retires
+        it before its next claim -- a retried shard can never land on it.
+        """
+        layout = QueueLayout(tmp_path / "q").create(
+            lease_ttl_s=30.0, poll_s=0.02
+        )
+        spec_a, = make_shard_specs(CELLS[:1], 1, "float64")
+        spec_b, = make_shard_specs(CELLS[1:2], 1, "float64")
+        worker = threading.Thread(
+            target=queue_worker_main, args=(layout.root,), daemon=True
+        )
+        worker.start()
+        protocol.write_message_file(
+            layout.pending / layout.message_name(spec_a.key),
+            protocol.encode_shard_request(spec_a),
+        )
+        deadline = time.monotonic() + 60.0
+        result_a = layout.results / layout.message_name(spec_a.key)
+        while not result_a.exists():
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        worker_id = protocol.read_message_file(result_a)["worker"]
+        # Ban the only worker: it must retire at its next claim check.
+        (layout.banned / worker_id).touch()
+        worker.join(timeout=30.0)
+        assert not worker.is_alive()
+        # Work offered after retirement stays unclaimed: the banned
+        # worker is gone, and a retried shard can never land on it.
+        protocol.write_message_file(
+            layout.pending / layout.message_name(spec_b.key),
+            protocol.encode_shard_request(spec_b),
+        )
+        time.sleep(0.2)
+        pending = [p.name for p in layout.pending.iterdir()]
+        assert pending == [layout.message_name(spec_b.key)]

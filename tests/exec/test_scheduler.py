@@ -1,6 +1,7 @@
 """Tests for the retrying scheduler and the resume journal."""
 
 import json
+import time
 
 import numpy as np
 import pytest
@@ -11,12 +12,16 @@ from repro.errors import ConfigurationError
 from repro.exec import (
     Scheduler,
     ShardFailure,
+    ShardQuarantined,
     ShardResult,
     SweepJournal,
     SystemCell,
+    backoff_delay,
     cell_key,
+    faults,
     make_shard_specs,
 )
+from repro.exec.faults import FaultEntry, FaultPlan, save_plan
 from repro.reference import run_digest
 
 
@@ -132,6 +137,124 @@ class TestScheduler:
         with pytest.raises(ConfigurationError):
             Scheduler(FlakyBackend(), max_attempts=0)
 
+    def test_rejects_bad_quarantine_after(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(FlakyBackend(), quarantine_after=0)
+
+    def test_poison_shard_quarantined_naming_killers(self):
+        # FlakyBackend blames a different worker each attempt, so two
+        # failures = two distinct killers: quarantine fires before the
+        # attempts budget is spent, and names both workers.
+        backend = FlakyBackend(failures_per_shard=99)
+        with pytest.raises(ShardQuarantined) as excinfo:
+            Scheduler(
+                backend,
+                max_attempts=5,
+                quarantine_after=2,
+                backoff_base_s=0,
+            ).run(specs_for(1))
+        assert excinfo.value.retriable is False
+        assert excinfo.value.attempts == 2
+        assert "w1" in str(excinfo.value) and "w2" in str(excinfo.value)
+        assert all(n == 2 for n in backend.attempts.values())
+
+    def test_anonymous_workers_never_quarantine(self):
+        # The process pool cannot name its workers; without killer
+        # identities the attempts bound must govern alone.
+        backend = FlakyBackend(failures_per_shard=99)
+        backend_run = backend.run
+
+        def anonymize(specs, excluded=frozenset()):
+            outcomes = backend_run(specs, excluded)
+            for outcome in outcomes:
+                if isinstance(outcome, ShardFailure):
+                    outcome.worker = None
+            return outcomes
+
+        backend.run = anonymize
+        with pytest.raises(ShardFailure) as excinfo:
+            Scheduler(
+                backend,
+                max_attempts=3,
+                quarantine_after=2,
+                backoff_base_s=0,
+            ).run(specs_for(1))
+        assert not isinstance(excinfo.value, ShardQuarantined)
+        assert excinfo.value.attempts == 3
+
+    def test_batch_successes_journal_before_fatal_raises(self):
+        # The mid-batch journal-loss fix: a non-retriable failure in a
+        # batch must not raise until the batch's successes have reached
+        # on_complete -- otherwise --resume recomputes finished shards.
+        specs = specs_for(3, jobs=3)
+        poison_key = specs[1].key
+
+        class MixedBackend:
+            name = "process"
+
+            def run(self, inner, excluded=frozenset()):
+                return [
+                    ShardFailure(
+                        "deterministic cell bug",
+                        shard_key=spec.key,
+                        retriable=False,
+                    )
+                    if spec.key == poison_key
+                    else ShardResult(
+                        key=spec.key,
+                        results=tuple(
+                            tiny_result(c.seed) for c in spec.cells
+                        ),
+                    )
+                    for spec in inner
+                ]
+
+            def close(self):
+                pass
+
+        journaled = []
+        with pytest.raises(ShardFailure, match="cell bug"):
+            Scheduler(
+                MixedBackend(),
+                on_complete=lambda spec, result: journaled.append(
+                    spec.key
+                ),
+            ).run(specs)
+        assert sorted(journaled) == sorted(
+            s.key for s in specs if s.key != poison_key
+        )
+
+    def test_retries_wait_out_the_backoff_window(self):
+        backend = FlakyBackend(failures_per_shard=1)
+        specs = specs_for(1)
+        start = time.monotonic()
+        Scheduler(backend, backoff_base_s=0.05, backoff_cap_s=1.0).run(
+            specs
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed >= backoff_delay(specs[0].key, 1, 0.05, 1.0)
+
+
+class TestBackoffDelay:
+    def test_deterministic(self):
+        assert backoff_delay("k", 1) == backoff_delay("k", 1)
+
+    def test_jitter_decorrelates_shards(self):
+        assert backoff_delay("k1", 1) != backoff_delay("k2", 1)
+
+    def test_exponential_growth_with_bounded_jitter(self):
+        base = 0.25
+        for attempt in (1, 2, 3):
+            delay = backoff_delay("k", attempt, base, cap_s=1e9)
+            floor = base * 2 ** (attempt - 1)
+            assert floor <= delay < 2 * floor
+
+    def test_cap_bounds_the_wait(self):
+        assert backoff_delay("k", 20, 0.25, 3.0) == 3.0
+
+    def test_zero_base_disables_pacing(self):
+        assert backoff_delay("k", 5, 0.0) == 0.0
+
     def test_missing_outcome_is_a_failure_not_a_success(self):
         # A backend bug (dispatch thread dying, misaligned outcome list)
         # must never be journaled as a completed shard.
@@ -239,3 +362,36 @@ class TestSweepJournal:
         assert header["kind"] == "header"
         assert header["fingerprint"] == "fp1"
         assert isinstance(header["version"], int)
+
+    def test_header_lands_atomically(self, tmp_path):
+        # Crash-safe creation: the header arrives by temp-file + rename,
+        # so no .tmp sibling may survive a successful open.
+        path = tmp_path / "sweep.journal.jsonl"
+        SweepJournal(path, "fp1")
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_injected_torn_write_survives_resume(
+        self, tmp_path, monkeypatch
+    ):
+        # The torn-journal-write fault: record() flushes a prefix of the
+        # line and "dies"; the next --resume must shrug off the torn
+        # tail, and re-recording the shard must complete the journal.
+        plan = save_plan(
+            FaultPlan((FaultEntry("torn-journal-write"),), seed=9),
+            tmp_path / "plan.json",
+        )
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV, str(plan))
+        path = tmp_path / "sweep.journal.jsonl"
+        journal = SweepJournal(path, "fp1")
+        cell, spec, result = self.entry()
+        with pytest.raises(ShardFailure, match="torn journal"):
+            journal.record(spec, result)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # header + the torn prefix
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(lines[1])
+        resumed = SweepJournal(path, "fp1", resume=True)
+        assert len(resumed) == 0  # the torn shard simply reruns
+        resumed.record(spec, result)  # fault disarmed: completes now
+        again = SweepJournal(path, "fp1", resume=True)
+        assert again.lookup(cell_key("float64", cell)) is not None
