@@ -1,0 +1,137 @@
+"""Fleet-service benchmark: what resident, crash-safe serving costs.
+
+The service recomputes each stream as a growing prefix (window ``i``
+reruns stream-seconds ``[0, end_i)``), which is what buys bit-exact
+crash recovery with a stateless compute layer.  This benchmark prices
+that choice against the batch sweep baseline on the same grid:
+
+- ``batch_s``: one ``run_cells`` pass over the full-duration cells.
+- ``service_s``: an eager ``FleetService`` session over the same cells,
+  windowed -- every stream computed window by window, journal fsyncs
+  included.
+
+It asserts the contract that makes the price worth paying: each
+stream's *final* window digest is bit-identical to the batch result, so
+a served session ends at exactly the sweep's numbers.  A second section
+runs one oversubscribed paced stream and records what the degradation
+ladder sheds, pricing graceful degradation rather than asserting
+timing (CI runners are too noisy for deadline guarantees).
+
+``REPRO_BENCH_QUICK=1`` (CI) shrinks the grid; emits
+``benchmarks/results/BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.parallel import run_cells
+from repro.exec import SystemCell
+from repro.exec.shard import cell_key
+from repro.reference import run_digest
+from repro.service import FleetService, ServiceConfig
+from repro.service.pacing import window_count
+from repro.service.session import session_path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+OUTPUT = RESULTS_DIR / "BENCH_service.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+WINDOW_S = 30.0
+
+
+def bench_grid() -> list[SystemCell]:
+    duration = 60.0 if QUICK else 120.0
+    scenarios = ("S1",) if QUICK else ("S1", "S4")
+    return [
+        SystemCell(
+            "DaCapo-Spatiotemporal", "resnet18_wrn50", scenario, 0, duration
+        )
+        for scenario in scenarios
+    ]
+
+
+def window_records(out: Path) -> dict[tuple[str, int], dict]:
+    records = {}
+    for line in session_path(out).read_text().splitlines():
+        record = json.loads(line)
+        if record.get("kind") == "window":
+            records[(record["stream"], record["index"])] = record
+    return records
+
+
+def test_service_overhead_and_final_window_identity(tmp_path):
+    cells = bench_grid()
+    windows_per_stream = window_count(cells[0].duration_s, WINDOW_S)
+
+    start = time.perf_counter()
+    batch = run_cells(cells, jobs=1)
+    batch_s = time.perf_counter() - start
+    batch_digests = {
+        cell_key("float64", cell): run_digest(result)
+        for cell, result in zip(cells, batch)
+    }
+
+    out = tmp_path / "service"
+    start = time.perf_counter()
+    code = FleetService(
+        ServiceConfig(out_dir=out, window_s=WINDOW_S), cells
+    ).run()
+    service_s = time.perf_counter() - start
+    assert code == 0
+
+    records = window_records(out)
+    assert len(records) == len(cells) * windows_per_stream
+    # The contract: a served stream's final window is bit-identical to
+    # the batch sweep's full-cell result.
+    for key, digest in batch_digests.items():
+        final = records[(key, windows_per_stream - 1)]
+        assert final["mode"] == "fresh"
+        assert final["digest"] == digest
+
+    total_windows = len(records)
+    overhead = service_s - batch_s
+    # Sanity bound, not a perf target: prefix recompute over W windows
+    # costs at most ~W/2 x the batch pass plus journal/loop slack.
+    assert service_s < batch_s * (windows_per_stream + 1) + 60.0
+
+    oversub = tmp_path / "oversub"
+    cell = bench_grid()[0]
+    start = time.perf_counter()
+    code = FleetService(
+        ServiceConfig(
+            out_dir=oversub, window_s=WINDOW_S, speedup=100000.0
+        ),
+        [cell],
+    ).run()
+    oversub_s = time.perf_counter() - start
+    assert code == 0
+    state = json.loads((oversub / "state.json").read_text())
+    stream = next(iter(state["streams"].values()))
+    # The ladder must have engaged (windows arrive ~0.3 ms apart) and
+    # the daemon still retired the stream cleanly.
+    assert stream["retired"]
+    assert stream["misses"] > 0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    OUTPUT.write_text(json.dumps({
+        "quick": QUICK,
+        "streams": len(cells),
+        "window_s": WINDOW_S,
+        "windows_per_stream": windows_per_stream,
+        "batch_s": batch_s,
+        "service_s": service_s,
+        "service_overhead_s": overhead,
+        "service_overhead_per_window_s": overhead / total_windows,
+        "oversubscribed": {
+            "wall_s": oversub_s,
+            "misses": stream["misses"],
+            "dropped_frames": stream["dropped_frames"],
+            "drop_rate": stream["drop_rate"],
+            "final_level": stream["level"],
+        },
+    }, indent=2) + "\n")

@@ -8,11 +8,17 @@ Subcommands:
 - ``sweep <spec.toml>`` -- run a declarative fleet sweep (``--plan`` prices
   it without running; ``--out DIR`` saves JSON/CSV artifacts plus the
   completion journal ``--resume`` reads to skip already-finished shards).
+- ``serve <spec.toml> --out DIR`` -- resident fleet service: pace the
+  spec's streams against a real-time clock (``--speedup``), degrade
+  deliberately when oversubscribed, journal every window crash-safely,
+  and expose an HTTP/JSON control plane (``--control PORT``).  Restart
+  on the same ``--out`` to resume; see README "Fleet service".
 - ``worker`` -- (internal) shard worker speaking the JSON-lines protocol
   on stdio; launched by the subprocess backend, locally or over ssh.
   With ``--queue DIR`` it pulls from a file-system job queue instead --
   attachable to a running ``sweep --backend queue`` from any host that
-  shares the filesystem.
+  shares the filesystem.  SIGTERM/SIGINT exit gracefully, releasing the
+  current shard/lease.
 - ``tune <pair>`` -- offline hyperparameter search (section VI-D).
 
 ``--backend serial|process[:N]|subprocess[:N]|queue[:N]`` (on
@@ -173,6 +179,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service pulls in the HTTP control plane and
+    # signal handling that no batch command needs.
+    from repro.numeric import use_policy
+    from repro.service.daemon import FleetService, ServiceConfig
+
+    spec = load_spec(args.spec)
+    plan = compile_plan(spec)
+    policies = sorted({group.policy.name for group in plan.groups})
+    if len(policies) != 1:
+        # A session journal is pinned to one numeric policy (window
+        # digests are policy-scoped); a multi-policy grid is a sweep.
+        raise ConfigurationError(
+            "serve needs a single-policy spec, got policies "
+            f"{', '.join(policies)}; split the spec or use sweep"
+        )
+    cells = [cell for group in plan.groups for cell in group.cells]
+    if args.jobs is not None and args.jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {args.jobs}")
+    config = ServiceConfig(
+        out_dir=args.out,
+        window_s=args.window,
+        speedup=args.speedup,
+        backend=args.backend,
+        jobs=args.jobs if args.jobs is not None else 1,
+        control_port=args.control,
+        degrade=not args.no_degrade,
+        stay=args.stay,
+    )
+    group = plan.groups[0]
+    print(
+        f"serving {len(cells)} stream(s) out={args.out} "
+        f"speedup={args.speedup:g} window={args.window:g}s",
+        flush=True,
+    )
+    with use_policy(group.policy):
+        service = FleetService(config, cells)
+        code = service.run()
+    print(f"session journal: {args.out}/session.jsonl")
+    return code
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     # Imported lazily: the stdio worker loop owns stdio and is only ever
     # useful as a child of a backend (or attached to a queue directory).
@@ -263,6 +311,50 @@ def main(argv: list[str] | None = None) -> int:
                               "(requires --out; the finished document is "
                               "identical to an uninterrupted run)")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="resident fleet service: pace a single-policy spec's "
+             "streams in real time (windowed, with degradation and "
+             "crash-safe resume); restart on the same --out to resume",
+    )
+    p_serve.add_argument("spec", type=Path,
+                         help="sweep spec file (.toml or .json) naming "
+                              "the streams; must compile to one numeric "
+                              "policy (see examples/fleet_service.toml)")
+    p_serve.add_argument("--out", type=Path, required=True, metavar="DIR",
+                         help="service directory: session journal, final "
+                              "state snapshot, and (queue backend) the "
+                              "queue directory; reusing it resumes the "
+                              "session")
+    p_serve.add_argument("--window", type=float, default=60.0, metavar="S",
+                         help="window length in stream seconds "
+                              "(default 60)")
+    p_serve.add_argument("--speedup", type=float, default=0.0, metavar="X",
+                         help="stream seconds per wall second; 1 is real "
+                              "time, 0 (default) is eager -- windows "
+                              "release on completion, no deadlines")
+    p_serve.add_argument("--backend", default=None, metavar="KIND[:N]",
+                         help="execution backend: serial, process[:N], "
+                              "subprocess[:N], or queue[:N] (queue lives "
+                              "at OUT/queue so external workers can "
+                              "attach)")
+    p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker count when --backend carries no :N "
+                              "(default 1)")
+    p_serve.add_argument("--control", type=int, default=None,
+                         metavar="PORT",
+                         help="serve the HTTP/JSON control plane on this "
+                              "loopback port (0 = ephemeral; the bound "
+                              "port is written to OUT/control.port)")
+    p_serve.add_argument("--no-degrade", action="store_true",
+                         help="pin every stream at NORMAL: deadline "
+                              "misses become plain lateness, every "
+                              "window is still computed fresh")
+    p_serve.add_argument("--stay", action="store_true",
+                         help="keep serving after all streams retire "
+                              "(admit more over the control plane); "
+                              "default exits when idle")
+
     p_worker = sub.add_parser(
         "worker",
         help="(internal) shard worker: JSON-lines protocol on stdio, or "
@@ -289,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "worker": _cmd_worker,
         "tune": _cmd_tune,
     }

@@ -24,6 +24,12 @@ Fault kinds (:data:`FAULT_KINDS`):
 - ``torn-journal-write``  the *parent* is "killed" halfway through
   appending a journal line: the prefix is written and flushed, then the
   run aborts.  ``--resume`` must tolerate the torn tail.
+- ``daemon-kill``         the resident fleet daemon ``os._exit``\\ s
+  immediately *after* fsyncing a session-journal window record -- the
+  hardest instant for crash recovery, because the restart must treat that
+  window as done and everything in flight after it as never-happened.
+  Target a specific window via ``match`` (contexts look like
+  ``<stream key>|w<index>``).
 
 Arming and claiming:
 
@@ -64,6 +70,7 @@ __all__ = [
     "FaultPlan",
     "consume_die_token",
     "corrupt_reply",
+    "daemon_fault",
     "journal_fault",
     "load_plan",
     "on_claim",
@@ -88,6 +95,7 @@ FAULT_KINDS = (
     "slow-worker",
     "corrupt-result",
     "torn-journal-write",
+    "daemon-kill",
 )
 
 #: Exit status of a worker killed by ``die-once`` (distinctive in logs).
@@ -370,6 +378,20 @@ def corrupt_reply(message: dict, mode: str) -> dict:
     # Nothing to mangle (empty shard): make the payload shape invalid.
     message["results"] = [{"corrupt": True}]
     return message
+
+
+def daemon_fault(context: str = "") -> None:
+    """Claim a ``daemon-kill`` firing; dies abruptly when one is armed.
+
+    Called by the session journal immediately after a window record is
+    fully fsynced: the ``os._exit`` is the SIGKILL shape (no atexit, no
+    finally blocks, no flushing), landing at the exact instant recovery
+    is hardest.  A no-op when no plan is armed or nothing matches.
+    """
+    claimed = _claim_kind(("daemon-kill",), context)
+    if claimed is None:
+        return
+    os._exit(DIE_EXIT_CODE)
 
 
 def journal_fault(context: str = "") -> float | None:

@@ -88,6 +88,15 @@ POLL_ENV = "REPRO_QUEUE_POLL"
 DEFAULT_LEASE_TTL_S = 30.0
 DEFAULT_POLL_S = 0.05
 
+#: Environment variable naming the pid a spawned worker must not
+#: outlive.  The backend sets it on local spawns; when that process is
+#: gone the worker exits at its next claim instead of polling a dead
+#: parent's queue forever (the orphan would also hold any inherited
+#: pipes open, wedging whatever supervises the parent).  Externally
+#: attached workers never see the variable and keep their independent
+#: lifetime.
+PARENT_PID_ENV = "REPRO_QUEUE_PARENT"
+
 #: Version stamp inside ``config.json`` (the queue's on-disk contract).
 QUEUE_LAYOUT_VERSION = 1
 
@@ -141,6 +150,10 @@ class QueueLayout:
             self.pending, self.leases, self.results, self.banned
         ):
             directory.mkdir(parents=True, exist_ok=True)
+        # A stop marker left by a previous backend on the same directory
+        # (a resumed service session reuses its queue dir) must not
+        # retire this backend's freshly spawned workers on arrival.
+        self.stop_marker.unlink(missing_ok=True)
         protocol.write_message_file(
             self.config_path,
             {
@@ -178,11 +191,25 @@ class QueueLayout:
 
 
 class _Heartbeat:
-    """Touches a lease file's mtime on an interval until stopped."""
+    """Touches a lease file's mtime on an interval until stopped.
+
+    A heartbeat thread that dies while its worker keeps computing is the
+    *phantom hang*: the lease goes stale, the backend reclaims and
+    retries the shard, and the worker's (eventually posted) result races
+    the retry's -- all because a bookkeeping thread failed silently.  Any
+    unexpected exception in the beat loop therefore sets :attr:`failed`,
+    which the worker checks after the shard and converts into an
+    explicit *retriable* error reply instead of posting a result whose
+    lease it could not keep alive.  A vanished lease file is the one
+    expected exit: the claim was reclaimed from under us, and the
+    post-time ``lease.exists()`` check already handles that race.
+    """
 
     def __init__(self, lease: Path, interval_s: float) -> None:
         self.lease = lease
         self.interval_s = interval_s
+        self.failed = False
+        self.error: str | None = None
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
 
@@ -193,8 +220,12 @@ class _Heartbeat:
         while not self._stop.wait(self.interval_s):
             try:
                 os.utime(self.lease)
-            except OSError:
+            except FileNotFoundError:
                 # Lease reclaimed from under us: nothing left to renew.
+                return
+            except Exception as exc:
+                self.failed = True
+                self.error = f"{type(exc).__name__}: {exc}"
                 return
 
     def stop(self) -> None:
@@ -207,11 +238,20 @@ def queue_worker_main(
     """The pull-model worker loop: claim, heartbeat, execute, post.
 
     Runs until the queue's ``stop`` marker appears (and the queue is
-    empty), this worker is banned, or -- with ``drain`` -- the queue has
-    no pending work.  Any process that can reach the directory may run
+    empty), this worker is banned, the spawning backend's process
+    (``$REPRO_QUEUE_PARENT``, set on local spawns only) is gone, or --
+    with ``drain`` -- the queue has no pending work.  Any process that can reach the directory may run
     this; the backend's own local workers and an operator's
     ``python -m repro worker --queue DIR`` on another host are identical.
+
+    SIGTERM/SIGINT shut down gracefully: a lease currently held is
+    *released* -- renamed back into ``pending/`` so the next worker
+    claims it immediately instead of waiting out the heartbeat TTL --
+    and the worker exits 0.
     """
+    from repro.exec.worker import GracefulShutdown, install_graceful_shutdown
+
+    install_graceful_shutdown()
     layout = QueueLayout(queue_dir)
     if not layout.pending.is_dir():
         raise ConfigurationError(
@@ -228,6 +268,25 @@ def queue_worker_main(
     poll_s = (
         _float_env(POLL_ENV) or config.get("poll_s") or DEFAULT_POLL_S
     )
+    parent_pid: int | None = None
+    raw_parent = os.environ.get(PARENT_PID_ENV, "").strip()
+    if raw_parent:
+        try:
+            parent_pid = int(raw_parent)
+        except ValueError:
+            parent_pid = None
+
+    def orphaned() -> bool:
+        if parent_pid is None:
+            return False
+        if os.getppid() == parent_pid:
+            return False
+        try:
+            os.kill(parent_pid, 0)
+        except OSError:
+            return True
+        return False
+
     worker_id = f"q{os.getpid()}-{os.urandom(2).hex()}"
     lease_dir = layout.leases / worker_id
     lease_dir.mkdir(parents=True, exist_ok=True)
@@ -257,78 +316,117 @@ def queue_worker_main(
             return target
         return None
 
-    while True:
-        if ban_marker.exists():
-            return 0  # retired by the scheduler's exclusion
-        lease = claim()
-        if lease is None:
-            if layout.stop_marker.exists() or drain:
-                return 0
-            time.sleep(poll_s)
-            continue
-        key = lease.name[: -len(".json")]
-        try:
-            message = protocol.read_message_file(lease)
-        except ProtocolError as exc:
-            message = None
-            reply = {
-                "v": protocol.PROTOCOL_VERSION,
-                "kind": "error",
-                "id": key,
-                "error": f"undecodable queue message: {exc}",
-                "traceback": None,
-                "worker": worker_id,
-            }
-        if message is not None:
-            # Fault-injection sits exactly where real failures strike:
-            # after the claim, before the first heartbeat.  A die-once
-            # exits here; a hang sleeps here with no heartbeat ever sent
-            # -- both leave a lease whose mtime is the claim instant,
-            # which is what the TTL reclaim must absorb.
-            faults.on_claim(key)
-            heartbeat = _Heartbeat(lease, heartbeat_s)
-            heartbeat.start()
+    lease: Path | None = None
+    heartbeat: _Heartbeat | None = None
+    try:
+        while True:
+            if ban_marker.exists():
+                return 0  # retired by the scheduler's exclusion
+            if orphaned():
+                return 0  # spawner died; do not outlive its tree
+            lease = claim()
+            if lease is None:
+                if layout.stop_marker.exists() or drain:
+                    return 0
+                time.sleep(poll_s)
+                continue
+            key = lease.name[: -len(".json")]
             try:
-                spec = protocol.decode_shard_spec(message)
-                if spec.cache_root is not None:
-                    os.environ[CACHE_ENV] = spec.cache_root
-                elif baseline_cache_root is not None:
-                    os.environ[CACHE_ENV] = baseline_cache_root
-                else:
-                    os.environ.pop(CACHE_ENV, None)
-                results, snapshot = run_shard_cells(
-                    spec.cells, spec.policy, spec.profile
-                )
-                reply = protocol.encode_shard_result(
-                    key, results, snapshot
-                )
-                reply["worker"] = worker_id
-                mode = faults.reply_fault(key)
-                if mode is not None:
-                    reply = faults.corrupt_reply(reply, mode)
-            except Exception as exc:
+                message = protocol.read_message_file(lease)
+            except ProtocolError as exc:
+                message = None
                 reply = {
                     "v": protocol.PROTOCOL_VERSION,
                     "kind": "error",
                     "id": key,
-                    "error": f"{type(exc).__name__}: {exc}",
-                    "traceback": traceback.format_exc(),
+                    "error": f"undecodable queue message: {exc}",
+                    "traceback": None,
                     "worker": worker_id,
                 }
-            finally:
-                heartbeat.stop()
-        if lease.exists():
-            # Still ours: post the reply, then release the claim.  If the
-            # lease was reclaimed while we ran (we were presumed dead),
-            # the shard belongs to another worker now -- posting a late
-            # result would race the rightful owner's, so discard ours.
-            protocol.write_message_file(
-                layout.results / layout.message_name(key), reply
-            )
+            if message is not None:
+                # Fault-injection sits exactly where real failures
+                # strike: after the claim, before the first heartbeat.
+                # A die-once exits here; a hang sleeps here with no
+                # heartbeat ever sent -- both leave a lease whose mtime
+                # is the claim instant, which is what the TTL reclaim
+                # must absorb.
+                faults.on_claim(key)
+                heartbeat = _Heartbeat(lease, heartbeat_s)
+                heartbeat.start()
+                try:
+                    spec = protocol.decode_shard_spec(message)
+                    if spec.cache_root is not None:
+                        os.environ[CACHE_ENV] = spec.cache_root
+                    elif baseline_cache_root is not None:
+                        os.environ[CACHE_ENV] = baseline_cache_root
+                    else:
+                        os.environ.pop(CACHE_ENV, None)
+                    results, snapshot = run_shard_cells(
+                        spec.cells, spec.policy, spec.profile
+                    )
+                    reply = protocol.encode_shard_result(
+                        key, results, snapshot
+                    )
+                    reply["worker"] = worker_id
+                    mode = faults.reply_fault(key)
+                    if mode is not None:
+                        reply = faults.corrupt_reply(reply, mode)
+                except Exception as exc:
+                    reply = {
+                        "v": protocol.PROTOCOL_VERSION,
+                        "kind": "error",
+                        "id": key,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                        "worker": worker_id,
+                    }
+                finally:
+                    heartbeat.stop()
+                if heartbeat.failed:
+                    # The beat loop died while we computed: the lease may
+                    # have gone stale and been reclaimed at any point, so
+                    # the result cannot be trusted as exclusively ours.
+                    # Report a *retriable* failure instead of a result --
+                    # the explicit version of what would otherwise be a
+                    # phantom hang.
+                    reply = {
+                        "v": protocol.PROTOCOL_VERSION,
+                        "kind": "error",
+                        "id": key,
+                        "error": (
+                            "lease heartbeat thread failed mid-shard: "
+                            f"{heartbeat.error}"
+                        ),
+                        "traceback": None,
+                        "worker": worker_id,
+                        "retriable": True,
+                    }
+                heartbeat = None
+            if lease.exists():
+                # Still ours: post the reply, then release the claim.  If
+                # the lease was reclaimed while we ran (we were presumed
+                # dead), the shard belongs to another worker now --
+                # posting a late result would race the rightful owner's,
+                # so discard ours.
+                protocol.write_message_file(
+                    layout.results / layout.message_name(key), reply
+                )
+                try:
+                    lease.unlink()
+                except OSError:
+                    pass
+            lease = None
+    except GracefulShutdown:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if lease is not None and lease.exists():
+            # Release, don't abandon: back into pending/ so the next
+            # worker claims it now instead of after a TTL expiry.
             try:
-                lease.unlink()
+                os.rename(lease, layout.pending / lease.name)
             except OSError:
                 pass
+        return 0
 
 
 class QueueBackend:
@@ -428,10 +526,10 @@ class QueueBackend:
             and self._spawned < self.workers + self.max_respawns
         ):
             self._spawned += 1
+            env = _worker_env()
+            env[PARENT_PID_ENV] = str(os.getpid())
             try:
-                proc = subprocess.Popen(
-                    self._worker_command(), env=_worker_env()
-                )
+                proc = subprocess.Popen(self._worker_command(), env=env)
             except OSError:
                 break
             self._procs.append(proc)
@@ -573,14 +671,19 @@ class QueueBackend:
             self._remove_message(spec.key)
             worker = message.get("worker") or worker
             if message.get("kind") == "error":
-                # In protocol, deterministic: not a transport fault.
+                # In protocol, deterministic: not a transport fault --
+                # unless the worker flagged it retriable (a heartbeat
+                # failure mid-shard, not a cell bug).
+                retriable = bool(message.get("retriable", False))
                 return ShardFailure(
-                    "shard raised inside the worker",
+                    "worker reported a retriable fault"
+                    if retriable
+                    else "shard raised inside the worker",
                     shard_key=spec.key,
                     cells=cells,
                     worker=worker,
                     cause=str(message.get("error")),
-                    retriable=False,
+                    retriable=retriable,
                 )
             if (
                 message.get("kind") != "result"

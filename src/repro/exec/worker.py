@@ -23,15 +23,43 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import traceback
 
 from repro.cache import CACHE_ENV
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.exec import faults, protocol
 from repro.exec.shard import run_shard_cells
 
-__all__ = ["worker_main"]
+__all__ = ["GracefulShutdown", "install_graceful_shutdown", "worker_main"]
+
+
+class GracefulShutdown(BaseException):
+    """Raised by the SIGTERM/SIGINT handler to unwind the worker loop.
+
+    A ``BaseException`` so that shard code catching broad ``Exception``
+    (legitimately -- a cell bug must not kill the worker) cannot swallow
+    a shutdown request.
+    """
+
+
+def install_graceful_shutdown() -> None:
+    """Make SIGTERM/SIGINT raise :class:`GracefulShutdown` (main thread).
+
+    A no-op when called off the main thread (``signal.signal`` raises
+    ``ValueError`` there) -- embedded/test uses of the worker loops then
+    keep the host's handlers.
+    """
+
+    def handler(signum, frame) -> None:
+        raise GracefulShutdown(signal.Signals(signum).name)
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, handler)
+        except ValueError:
+            return
 
 
 def worker_main(argv: list[str] | None = None) -> int:
@@ -57,13 +85,17 @@ def worker_main(argv: list[str] | None = None) -> int:
         help="with --queue: exit once the queue has no pending work "
         "(the natural shape for batch/k8s-style worker pods)",
     )
-    args = parser.parse_args(argv or [])
+    # None means "use sys.argv" (direct ``python -m repro.exec.worker``
+    # entry); the CLI wrapper always passes an explicit (possibly empty)
+    # list.  ``argv or []`` would silently drop direct-entry arguments.
+    args = parser.parse_args(argv)
     if args.drain and args.queue is None:
         parser.error("--drain requires --queue")
     if args.queue is not None:
         from repro.exec.queue import queue_worker_main
 
         return queue_worker_main(args.queue, drain=args.drain)
+    install_graceful_shutdown()
 
     def send_error(channel, message_id, error, trace=None):
         protocol.write_message(
@@ -96,51 +128,68 @@ def worker_main(argv: list[str] | None = None) -> int:
             "pid": os.getpid(),
         },
     )
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            message = protocol.decode_message(line)
-        except ProtocolError as exc:
-            send_error(channel, None, str(exc))
-            continue
-        kind = message.get("kind")
-        if kind == "shutdown":
-            break
-        if kind != "shard":
-            send_error(
-                channel, message.get("id"),
-                f"unexpected message kind {kind!r}",
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = protocol.decode_message(line)
+            except ProtocolError as exc:
+                send_error(channel, None, str(exc))
+                continue
+            kind = message.get("kind")
+            if kind == "shutdown":
+                break
+            if kind != "shard":
+                send_error(
+                    channel, message.get("id"),
+                    f"unexpected message kind {kind!r}",
+                )
+                continue
+            faults.on_claim(str(message.get("id") or ""))
+            try:
+                spec = protocol.decode_shard_spec(message)
+                if spec.cache_root is not None:
+                    # The payload pins the parent's artifact-cache root
+                    # so a shared-FS fleet reads one content-addressed
+                    # store.
+                    os.environ[CACHE_ENV] = spec.cache_root
+                elif baseline_cache_root is not None:
+                    os.environ[CACHE_ENV] = baseline_cache_root
+                else:
+                    os.environ.pop(CACHE_ENV, None)
+                results, snapshot = run_shard_cells(
+                    spec.cells, spec.policy, spec.profile
+                )
+            except Exception as exc:
+                send_error(
+                    channel, message.get("id"),
+                    f"{type(exc).__name__}: {exc}",
+                    traceback.format_exc(),
+                )
+                continue
+            reply = protocol.encode_shard_result(
+                spec.key, results, snapshot
             )
-            continue
-        faults.on_claim(str(message.get("id") or ""))
-        try:
-            spec = protocol.decode_shard_spec(message)
-            if spec.cache_root is not None:
-                # The payload pins the parent's artifact-cache root so a
-                # shared-FS fleet reads one content-addressed store.
-                os.environ[CACHE_ENV] = spec.cache_root
-            elif baseline_cache_root is not None:
-                os.environ[CACHE_ENV] = baseline_cache_root
-            else:
-                os.environ.pop(CACHE_ENV, None)
-            results, snapshot = run_shard_cells(
-                spec.cells, spec.policy, spec.profile
-            )
-        except Exception as exc:
-            send_error(
-                channel, message.get("id"),
-                f"{type(exc).__name__}: {exc}", traceback.format_exc(),
-            )
-            continue
-        reply = protocol.encode_shard_result(spec.key, results, snapshot)
-        mode = faults.reply_fault(spec.key)
-        if mode is not None:
-            reply = faults.corrupt_reply(reply, mode)
-        protocol.write_message(channel, reply)
+            mode = faults.reply_fault(spec.key)
+            if mode is not None:
+                reply = faults.corrupt_reply(reply, mode)
+            protocol.write_message(channel, reply)
+    except GracefulShutdown:
+        # SIGTERM/SIGINT: release the current shard (no reply -- the
+        # parent's pipe-EOF handling re-dispatches it as a retriable
+        # failure) and exit cleanly instead of dying mid-write.
+        return 0
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(worker_main())
+    try:
+        sys.exit(worker_main())
+    except ConfigurationError as exc:
+        # Mirror the CLI's typed-error contract for direct entry
+        # (``python -m repro.exec.worker``): one line, exit 2, no
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)

@@ -1,0 +1,209 @@
+"""The control plane: observe and steer a resident daemon, stdlib-only.
+
+A resident service is useless if the only way to learn its state is to
+kill it and read the journal.  This module puts a minimal HTTP/JSON
+surface on the daemon -- ``http.server`` and ``http.client`` only, no
+web framework -- bound to loopback on a configurable (or ephemeral)
+port:
+
+=======  =============  ==================================================
+Method   Path           Meaning
+=======  =============  ==================================================
+GET      ``/health``    Liveness: ``{"ok": true, "draining": ...}``.
+GET      ``/state``     The full service snapshot: per-stream accuracy,
+                        drop rate, deadline slack, degradation level and
+                        transition counts, plus queue depth, in-flight
+                        windows, worker/backend health, and session
+                        counters.
+GET      ``/streams``   Just the per-stream section of ``/state``.
+POST     ``/admit``     Body: a grid-cell JSON object (``{"system",
+                        "pair", "scenario", "seed", "duration_s"}``).
+                        Admits the stream into the running pool.
+POST     ``/retire``    Body: ``{"stream": <key>}``.  Retires one stream
+                        (its completed windows stay journaled).
+POST     ``/drain``     Stop admitting work, finish in-flight windows,
+                        then shut down cleanly.
+=======  =============  ==================================================
+
+Commands respond ``{"ok": true, ...}`` or an ``{"ok": false, "error"}``
+with status 400 (caller mistake -- unknown stream, malformed cell) or 500
+(internal error); a control-plane request can never crash the daemon.
+The server runs on a daemon thread (``ThreadingHTTPServer``), so a slow
+or wedged client never stalls the supervisor loop; every handler touches
+the service only through its thread-safe command/snapshot methods.
+
+:func:`control_request` is the matching client -- what the tests, the CI
+chaos leg, and ``curl``-averse operators use.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from threading import Thread
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ControlServer", "control_request"]
+
+#: Loopback only: the control plane carries commands, not public traffic.
+DEFAULT_HOST = "127.0.0.1"
+
+
+class ControlServer:
+    """The daemon's HTTP/JSON command-and-state endpoint.
+
+    Args:
+        service: The :class:`~repro.service.daemon.FleetService` (or any
+            object exposing thread-safe ``state_snapshot()``,
+            ``command_admit(payload)``, ``command_retire(key)``, and
+            ``command_drain()``).
+        host: Bind address (loopback by default).
+        port: TCP port; ``0`` binds an ephemeral port -- read
+            :attr:`port` after :meth:`start` to learn it (how tests get
+            collision-free servers).
+    """
+
+    def __init__(
+        self, service, host: str = DEFAULT_HOST, port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    def start(self) -> None:
+        """Bind and serve on a daemon thread; returns once listening."""
+        service = self.service
+
+        class _Handler(BaseHTTPRequestHandler):
+            # The supervisor's own event log is the service's voice;
+            # per-request stderr chatter would drown it.
+            def log_message(self, *args) -> None:
+                pass
+
+            def _reply(self, status: int, payload: dict) -> None:
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                try:
+                    if self.path == "/health":
+                        snapshot = service.state_snapshot()
+                        self._reply(
+                            200,
+                            {
+                                "ok": True,
+                                "draining": snapshot.get("draining", False),
+                            },
+                        )
+                    elif self.path == "/state":
+                        self._reply(200, service.state_snapshot())
+                    elif self.path == "/streams":
+                        snapshot = service.state_snapshot()
+                        self._reply(
+                            200, {"streams": snapshot.get("streams", {})}
+                        )
+                    else:
+                        self._reply(
+                            404,
+                            {"ok": False, "error": f"no route {self.path}"},
+                        )
+                except Exception as exc:  # pragma: no cover - belt
+                    self._reply(500, {"ok": False, "error": str(exc)})
+
+            def do_POST(self) -> None:
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                    raw = self.rfile.read(length) if length else b""
+                    payload = json.loads(raw) if raw else {}
+                    if not isinstance(payload, dict):
+                        raise ConfigurationError(
+                            "control body must be a JSON object"
+                        )
+                    if self.path == "/admit":
+                        self._reply(200, service.command_admit(payload))
+                    elif self.path == "/retire":
+                        self._reply(
+                            200,
+                            service.command_retire(
+                                str(payload.get("stream", ""))
+                            ),
+                        )
+                    elif self.path == "/drain":
+                        self._reply(200, service.command_drain())
+                    else:
+                        self._reply(
+                            404,
+                            {"ok": False, "error": f"no route {self.path}"},
+                        )
+                except (ConfigurationError, json.JSONDecodeError) as exc:
+                    self._reply(400, {"ok": False, "error": str(exc)})
+                except Exception as exc:  # pragma: no cover - belt
+                    self._reply(500, {"ok": False, "error": str(exc)})
+
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        self._server.daemon_threads = True
+        self._thread = Thread(
+            target=self._server.serve_forever,
+            name="repro-control",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def control_request(
+    port: int,
+    path: str,
+    payload: dict | None = None,
+    *,
+    host: str = DEFAULT_HOST,
+    timeout: float = 10.0,
+) -> dict:
+    """One control-plane round trip; GET when ``payload`` is None.
+
+    Returns the decoded JSON body regardless of status (error bodies
+    carry ``{"ok": false, "error"}``); raises ``OSError`` only when the
+    daemon is unreachable.
+    """
+    connection = HTTPConnection(host, port, timeout=timeout)
+    try:
+        if payload is None:
+            connection.request("GET", path)
+        else:
+            body = json.dumps(payload).encode()
+            connection.request(
+                "POST",
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+        response = connection.getresponse()
+        return json.loads(response.read() or b"{}")
+    finally:
+        connection.close()

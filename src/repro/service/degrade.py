@@ -1,0 +1,166 @@
+"""The degradation ladder: what to shed, deliberately, when behind.
+
+When compute is oversubscribed -- the real-time deadline for a window is
+shorter than the retrain/label work it needs -- *something* must give.
+The failure modes of a naive service are crashing (an exception
+propagates) or silently stalling (an unbounded backlog grows while the
+camera keeps transmitting).  The ladder makes the shedding explicit,
+ordered, and accounted:
+
+====================  =====================================================
+Level                 Meaning
+====================  =====================================================
+``NORMAL``            Every arriving window is dispatched for fresh
+                      compute (retrain + label + inference).
+``SKIP_RETRAIN``      One deadline missed: the arriving window's
+                      retrain/label work is *deferred* -- not dispatched
+                      while the late window is still in flight.  The
+                      deferred window is still computed fresh (late) once
+                      the stream catches up; only its timeliness is
+                      sacrificed.
+``STALE_STUDENT``     Sustained misses: arriving windows are *served by
+                      the stale student* -- no compute is dispatched at
+                      all; the window is journaled with the accuracy of
+                      the last fresh window (exactly what a deployed
+                      model that stopped retraining delivers).
+``SHED``              The backlog is still growing even with no new
+                      compute admitted: arriving windows are *shed* --
+                      their frames are counted dropped (per-stream drop
+                      accounting), nothing is served, nothing is
+                      dispatched.
+====================  =====================================================
+
+Escalation is one level per missed deadline (a window arriving while an
+earlier window of the same stream is incomplete); recovery is one level
+per caught-up completion (a fresh window completing with no remaining
+backlog).  Both directions are clamped, every transition is returned as a
+:class:`Transition` for the session journal and the control plane, and no
+path raises -- the ladder's contract is that oversubscription degrades
+output quality, never liveness.
+
+The ladder is pure bookkeeping over events fed to it by the supervisor
+(:mod:`repro.service.daemon`), so its behavior under any miss/hit
+sequence is deterministic and unit-testable without a clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = ["DegradationLadder", "DegradeLevel", "Transition"]
+
+
+class DegradeLevel(IntEnum):
+    """Ladder rungs, in escalation order."""
+
+    NORMAL = 0
+    SKIP_RETRAIN = 1
+    STALE_STUDENT = 2
+    SHED = 3
+
+
+#: What the supervisor does with an arriving window at each level.
+LEVEL_ACTIONS: dict[DegradeLevel, str] = {
+    DegradeLevel.NORMAL: "dispatch",
+    DegradeLevel.SKIP_RETRAIN: "defer",
+    DegradeLevel.STALE_STUDENT: "stale",
+    DegradeLevel.SHED: "shed",
+}
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One journaled ladder transition.
+
+    Attributes:
+        stream: The stream key the transition belongs to.
+        window: The window index whose arrival/completion triggered it.
+        from_level: Level before.
+        to_level: Level after.
+        reason: ``"deadline-miss"``, ``"caught-up"``, or
+            ``"dispatch-failed"`` (the scheduler exhausted its retries for
+            a window -- an infrastructure failure absorbed as degradation
+            rather than raised).
+    """
+
+    stream: str
+    window: int
+    from_level: DegradeLevel
+    to_level: DegradeLevel
+    reason: str
+
+    def as_record(self) -> dict:
+        """The JSON shape the session journal and control plane carry."""
+        return {
+            "stream": self.stream,
+            "window": self.window,
+            "from": self.from_level.name,
+            "to": self.to_level.name,
+            "reason": self.reason,
+        }
+
+
+class DegradationLadder:
+    """Per-stream degradation state machine (see the module docstring).
+
+    Args:
+        stream: Stream key (stamped into transitions).
+        enabled: ``False`` pins the ladder at ``NORMAL`` -- misses are
+            tolerated as plain lateness (pure backpressure, every window
+            still computed fresh).  The deterministic crash-recovery
+            harness runs this way.
+    """
+
+    def __init__(self, stream: str, enabled: bool = True) -> None:
+        self.stream = stream
+        self.enabled = enabled
+        self.level = DegradeLevel.NORMAL
+        self.misses = 0
+        self.recoveries = 0
+
+    def action(self) -> str:
+        """The supervisor's move for the next arriving window."""
+        return LEVEL_ACTIONS[self.level]
+
+    def _shift(
+        self, window: int, to: DegradeLevel, reason: str
+    ) -> Transition | None:
+        if to == self.level:
+            return None
+        transition = Transition(
+            stream=self.stream,
+            window=window,
+            from_level=self.level,
+            to_level=to,
+            reason=reason,
+        )
+        self.level = to
+        return transition
+
+    def on_miss(
+        self, window: int, reason: str = "deadline-miss"
+    ) -> Transition | None:
+        """A window arrived while an earlier one was incomplete.
+
+        Escalates one level (clamped at ``SHED``).  Returns the
+        transition to journal, or ``None`` when disabled or already at
+        the top of the ladder.
+        """
+        self.misses += 1
+        if not self.enabled:
+            return None
+        to = DegradeLevel(min(self.level + 1, DegradeLevel.SHED))
+        return self._shift(window, to, reason)
+
+    def on_recover(self, window: int) -> Transition | None:
+        """A fresh window completed with no backlog remaining.
+
+        De-escalates one level (clamped at ``NORMAL``).  Returns the
+        transition to journal, or ``None`` when already recovered.
+        """
+        self.recoveries += 1
+        if not self.enabled:
+            return None
+        to = DegradeLevel(max(self.level - 1, DegradeLevel.NORMAL))
+        return self._shift(window, to, "caught-up")

@@ -1,0 +1,193 @@
+"""Real-time window pacing: frames arrive at stream rate, not numpy rate.
+
+A camera does not deliver its footage as fast as the simulator can
+generate it -- a 60-second window of 30 fps video takes 60 seconds to
+*exist*.  The batch layers ignore that (a sweep consumes stream time as
+fast as compute allows); the resident service must not, because the whole
+continuous-learning question -- can retraining keep up with the camera? --
+only exists against a real clock.
+
+:class:`FrameClock` is the service-wide clock: ``monotonic``-based, with a
+``speedup`` factor so a 20-minute scenario can be paced through in
+seconds under test.  ``speedup=0`` is *eager* mode: no real-time pacing at
+all -- a stream's next window becomes available the moment the previous
+one completes.  Eager mode is how the crash-recovery harness gets fully
+deterministic sessions (no wall-clock-dependent degradation decisions);
+it is also the natural "reprocess this archive footage" shape.
+
+:class:`StreamPacer` is one stream's view of that clock: window ``i``
+(stream time ``[i*W, (i+1)*W)``) has fully *arrived* once the wall clock
+reaches ``epoch + (i+1)*W/speedup``, and its *deadline* is the arrival of
+window ``i+1`` -- the work for a window must complete before the next
+window lands, or the stream is falling behind the camera and the
+degradation ladder (:mod:`repro.service.degrade`) takes over.  ``slack``
+(deadline minus now) is tracked per stream and exported on the control
+plane, so an operator can see headroom shrink before windows start
+missing.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FrameClock", "StreamPacer", "window_count", "window_span"]
+
+
+def window_count(duration_s: float, window_s: float) -> int:
+    """How many windows a stream of ``duration_s`` decomposes into.
+
+    The final window may be short (``duration_s`` need not divide evenly);
+    a stream shorter than one window is still one window.
+    """
+    if duration_s <= 0 or window_s <= 0:
+        raise ConfigurationError(
+            "stream duration and window length must be positive, got "
+            f"duration={duration_s!r} window={window_s!r}"
+        )
+    return max(1, math.ceil(duration_s / window_s - 1e-9))
+
+
+def window_span(
+    index: int, duration_s: float, window_s: float
+) -> tuple[float, float]:
+    """The ``[start, end)`` stream-time interval of window ``index``."""
+    start = index * window_s
+    end = min((index + 1) * window_s, duration_s)
+    return start, end
+
+
+class FrameClock:
+    """The service's monotonic clock with a stream-time speedup factor.
+
+    Args:
+        speedup: Stream seconds per wall second.  ``1.0`` is real time
+            (a 60 s window arrives over 60 s of wall clock); ``60.0``
+            paces a minute of stream per wall second (tests, CI);
+            ``0`` disables pacing entirely (*eager* mode -- windows are
+            released by completion, not by the clock, and deadlines do
+            not exist).
+        clock: Injectable time source (seconds, monotonic).  Tests drive
+            the pacing and degradation machinery deterministically by
+            substituting a manual clock.
+    """
+
+    def __init__(
+        self,
+        speedup: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if speedup < 0:
+            raise ConfigurationError(
+                f"speedup must be >= 0 (0 = eager), got {speedup!r}"
+            )
+        self.speedup = speedup
+        self._clock = clock
+
+    @property
+    def eager(self) -> bool:
+        """True when real-time pacing is disabled (``speedup == 0``)."""
+        return self.speedup == 0
+
+    def now(self) -> float:
+        """Current wall time on the injected clock."""
+        return self._clock()
+
+    def wall_per_stream_s(self, stream_s: float) -> float:
+        """Wall seconds it takes ``stream_s`` stream seconds to arrive."""
+        if self.eager:
+            return 0.0
+        return stream_s / self.speedup
+
+    def pacer(
+        self, duration_s: float, window_s: float, epoch: float | None = None
+    ) -> "StreamPacer":
+        """A per-stream pacer admitted at ``epoch`` (default: now)."""
+        return StreamPacer(
+            clock=self,
+            duration_s=float(duration_s),
+            window_s=float(window_s),
+            epoch=self.now() if epoch is None else epoch,
+        )
+
+
+@dataclass
+class StreamPacer:
+    """One admitted stream's arrival schedule and deadline slack.
+
+    Attributes:
+        clock: The shared :class:`FrameClock`.
+        duration_s: Total stream length (stream seconds).
+        window_s: Window length (stream seconds).
+        epoch: Wall time the stream was admitted (its window 0 starts
+            arriving immediately after).
+        last_slack_s: Deadline slack observed at the most recent window
+            completion (positive = finished with headroom, negative =
+            late).  ``None`` until the first window completes; stays
+            ``None`` forever in eager mode.
+    """
+
+    clock: FrameClock
+    duration_s: float
+    window_s: float
+    epoch: float
+    last_slack_s: float | None = field(default=None)
+
+    @property
+    def windows(self) -> int:
+        """Total windows this stream decomposes into."""
+        return window_count(self.duration_s, self.window_s)
+
+    def span(self, index: int) -> tuple[float, float]:
+        """The ``[start, end)`` stream-time interval of window ``index``."""
+        return window_span(index, self.duration_s, self.window_s)
+
+    def arrival(self, index: int) -> float:
+        """Wall time window ``index`` has fully arrived (eager: epoch)."""
+        if self.clock.eager:
+            return self.epoch
+        _, end = self.span(index)
+        return self.epoch + self.clock.wall_per_stream_s(end)
+
+    def deadline(self, index: int) -> float:
+        """Wall time window ``index``'s work must complete by.
+
+        The deadline is the *next* window's arrival: once window ``i+1``
+        has landed while ``i`` is still computing, the stream is behind
+        the camera.  The final window gets one more window-length of wall
+        time (there is no successor to collide with).  Eager mode has no
+        deadlines (``inf``).
+        """
+        if self.clock.eager:
+            return float("inf")
+        return self.arrival(index) + self.clock.wall_per_stream_s(
+            self.window_s
+        )
+
+    def due(self, index: int, now: float) -> bool:
+        """Whether window ``index`` has arrived by wall time ``now``."""
+        if index >= self.windows:
+            return False
+        if self.clock.eager:
+            return True
+        return now >= self.arrival(index)
+
+    def slack(self, index: int, now: float) -> float:
+        """Wall seconds of headroom before window ``index``'s deadline."""
+        return self.deadline(index) - now
+
+    def record_completion(self, index: int, now: float) -> float | None:
+        """Note window ``index`` completing at ``now``; returns its slack.
+
+        Eager mode returns ``None`` -- without deadlines, slack is
+        meaningless and must not leak timing noise into journals.
+        """
+        if self.clock.eager:
+            return None
+        slack = self.slack(index, now)
+        self.last_slack_s = slack
+        return slack

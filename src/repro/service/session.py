@@ -1,0 +1,376 @@
+"""The session journal: a daemon's durable memory, crash to crash.
+
+A sweep journal (:class:`~repro.exec.scheduler.SweepJournal`) records one
+record shape -- completed shards -- because a sweep has one lifecycle
+event.  A resident service has many: streams are *admitted* at runtime,
+their *windows* complete one by one (fresh, stale-served, or shed),
+degradation *transitions* fire, streams are *retired*, and operational
+*events* (startup, drain, injected faults) punctuate everything.  The
+session journal extends the sweep journal's crash-safety machinery --
+atomic tmp+fsync+rename header, per-record fsync of file and directory,
+torn-tail termination on resume -- to that multi-record stream.
+
+The recovery contract: SIGKILL the daemon at any instant, restart it on
+the same ``--out`` directory, and every admitted stream resumes from its
+last *completed* window; completed windows are never recomputed and their
+journaled records -- including the bit-exact encoded
+:class:`~repro.core.results.RunResult` of every fresh window -- are
+byte-identical to an uninterrupted session's.  To keep that byte-identity
+honest, window records carry **no timing**: deadline slack, wall-clock
+stamps, and queue depths live only in the control plane's transient
+state, never in the journal.
+
+Record kinds (one JSON line each, after the header):
+
+- ``admit``   ``{stream, cell, policy, duration_s, window_s, windows}``
+- ``window``  ``{stream, index, mode, digest, accuracy, frames, dropped
+  [, result]}`` -- ``mode`` is ``fresh`` (computed; carries the encoded
+  result), ``stale`` (served by the stale student; carries the accuracy
+  it served), or ``shed`` (frames dropped; carries the drop count).
+- ``degrade`` one ladder :class:`~repro.service.degrade.Transition`.
+- ``retire``  ``{stream, reason}``.
+- ``event``   ``{name, detail}`` -- operational punctuation.
+
+The ``daemon-kill`` fault (:mod:`repro.exec.faults`) injects its
+``os._exit`` *after* a window record is fully fsynced -- the hardest
+instant for recovery, because the next startup must treat that window as
+done and everything after it as never-happened.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.exec import faults, protocol
+from repro.exec.scheduler import _fsync_dir
+from repro.service.degrade import Transition
+from repro.service.pacing import window_count
+
+__all__ = [
+    "SESSION_VERSION",
+    "SessionJournal",
+    "StreamLog",
+    "session_fingerprint",
+    "session_path",
+]
+
+#: Schema version of the session journal file.
+SESSION_VERSION = 1
+
+#: The window-record modes (documentation order = degradation order).
+WINDOW_MODES = ("fresh", "stale", "shed")
+
+
+def session_path(out_dir: str | Path) -> Path:
+    """Where a service run's session journal lives."""
+    return Path(out_dir) / "session.jsonl"
+
+
+def session_fingerprint(policy: str, window_s: float) -> str:
+    """Content fingerprint pinning a journal to its session parameters.
+
+    Streams are admitted at runtime, so -- unlike a sweep journal, whose
+    fingerprint covers the whole compiled plan -- only the parameters
+    that would silently change the meaning of *every* record are pinned:
+    the numeric policy (digests are policy-scoped) and the window length
+    (window indices are meaningless across a different split).
+    """
+    return hashlib.sha256(
+        f"service|v{SESSION_VERSION}|{policy}|{window_s:g}".encode()
+    ).hexdigest()
+
+
+@dataclass
+class StreamLog:
+    """One admitted stream's reconstructed journal state.
+
+    Attributes:
+        key: The stream key (``cell_key`` of its grid cell).
+        cell: The decoded grid cell.
+        policy: Numeric policy name the stream runs under.
+        duration_s: Total stream length (stream seconds).
+        window_s: Window length (stream seconds).
+        windows: Per-index window records (``mode``/``digest``/... as
+            journaled); a window present here is *done* and must never be
+            recomputed.
+        transitions: Degradation transitions, in journal order.
+        dropped_frames: Total frames shed across the stream's life.
+        retired: Whether a retire record closed the stream.
+        retire_reason: The retire record's reason, when retired.
+    """
+
+    key: str
+    cell: object
+    policy: str
+    duration_s: float
+    window_s: float
+    windows: dict[int, dict] = field(default_factory=dict)
+    transitions: list[dict] = field(default_factory=list)
+    dropped_frames: int = 0
+    retired: bool = False
+    retire_reason: str | None = None
+
+    @property
+    def total_windows(self) -> int:
+        """How many windows the stream decomposes into."""
+        return window_count(self.duration_s, self.window_s)
+
+    @property
+    def next_window(self) -> int:
+        """The lowest window index not yet journaled as done."""
+        index = 0
+        while index in self.windows:
+            index += 1
+        return index
+
+    @property
+    def complete(self) -> bool:
+        """Every window journaled (the stream is ready to retire)."""
+        return len(self.windows) >= self.total_windows
+
+
+class SessionJournal:
+    """Append-only multi-record session log (see the module docstring).
+
+    Construction either creates a fresh journal (atomic header write) or,
+    with ``resume=True`` on an existing file, reloads every record --
+    tolerating exactly the torn final line a SIGKILL leaves -- and
+    terminates the torn tail so later appends stand alone.  A fingerprint
+    mismatch (different policy or window length) refuses with a typed
+    :class:`~repro.errors.ConfigurationError` rather than silently mixing
+    incompatible sessions.
+    """
+
+    def __init__(
+        self, path: str | Path, fingerprint: str, *, resume: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.streams: dict[str, StreamLog] = {}
+        self.events: list[dict] = []
+        self.resumed = False
+        if resume and self.path.exists():
+            self._load()
+            self.resumed = True
+            # A kill mid-append leaves a torn final line with no newline;
+            # terminate it now so the next append does not glue onto junk.
+            with self.path.open("rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                torn_tail = False
+                if size:
+                    handle.seek(size - 1)
+                    torn_tail = handle.read(1) != b"\n"
+            if torn_tail:
+                with self.path.open("a") as handle:
+                    handle.write("\n")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header = {
+                "kind": "header",
+                "version": SESSION_VERSION,
+                "fingerprint": fingerprint,
+            }
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with tmp.open("w") as handle:
+                handle.write(json.dumps(header) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            _fsync_dir(self.path.parent)
+
+    # -- loading ------------------------------------------------------
+
+    def _load(self) -> None:
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            raise ConfigurationError(
+                f"session journal {self.path} is empty; remove it or "
+                "point --out elsewhere"
+            )
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = {}
+        if (
+            header.get("kind") != "header"
+            or header.get("version") != SESSION_VERSION
+        ):
+            raise ConfigurationError(
+                f"{self.path} is not a version-{SESSION_VERSION} session "
+                "journal; remove it or point --out elsewhere"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise ConfigurationError(
+                f"session journal {self.path} belongs to a different "
+                "session (numeric policy or window length changed); "
+                "remove it or point --out elsewhere"
+            )
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # The torn trailing line a SIGKILL leaves: whatever it
+                # described simply did not happen.
+                continue
+            self._replay(record)
+
+    def _replay(self, record: dict) -> None:
+        kind = record.get("kind")
+        if kind == "admit":
+            cell = protocol.decode_cell(record["cell"])
+            self.streams[record["stream"]] = StreamLog(
+                key=record["stream"],
+                cell=cell,
+                policy=record["policy"],
+                duration_s=float(record["duration_s"]),
+                window_s=float(record["window_s"]),
+            )
+            return
+        stream = self.streams.get(record.get("stream", ""))
+        if kind == "window" and stream is not None:
+            stream.windows[int(record["index"])] = record
+            stream.dropped_frames += int(record.get("dropped", 0))
+            return
+        if kind == "degrade" and stream is not None:
+            stream.transitions.append(record)
+            return
+        if kind == "retire" and stream is not None:
+            stream.retired = True
+            stream.retire_reason = record.get("reason")
+            return
+        if kind == "event":
+            self.events.append(record)
+
+    # -- appending ----------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        """One fsynced record (file and directory) before returning."""
+        line = json.dumps(record, separators=(",", ":"))
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        _fsync_dir(self.path.parent)
+
+    def record_admit(
+        self, key: str, cell, policy: str, duration_s: float, window_s: float
+    ) -> StreamLog:
+        """Admit one stream; returns its (empty) log.
+
+        Idempotent across sessions: a key already replayed from this
+        journal returns its existing log -- completed windows must
+        survive a re-admit, never be recomputed.
+        """
+        existing = self.streams.get(key)
+        if existing is not None:
+            return existing
+        record = {
+            "kind": "admit",
+            "stream": key,
+            "cell": protocol.encode_cell(cell),
+            "policy": policy,
+            "duration_s": float(duration_s),
+            "window_s": float(window_s),
+            "windows": window_count(duration_s, window_s),
+        }
+        self._append(record)
+        log = StreamLog(
+            key=key,
+            cell=cell,
+            policy=policy,
+            duration_s=float(duration_s),
+            window_s=float(window_s),
+        )
+        self.streams[key] = log
+        return log
+
+    def record_window(
+        self,
+        key: str,
+        index: int,
+        mode: str,
+        *,
+        digest: str | None = None,
+        accuracy: float | None = None,
+        frames: int = 0,
+        dropped: int = 0,
+        result: dict | None = None,
+    ) -> dict:
+        """Journal one completed window; the hardest record to lose.
+
+        ``fresh`` windows carry the bit-exact encoded result (so a resume
+        can reconstruct every completed window without recompute),
+        ``stale`` windows the accuracy they served, ``shed`` windows the
+        frames they dropped.  No timing fields, ever -- the record must be
+        byte-identical between a paced run and an eager one.
+
+        The ``daemon-kill`` fault fires *after* the fsync: the journal
+        remembers the window, the process dies, and the restart must
+        resume exactly one window further on.
+        """
+        if mode not in WINDOW_MODES:
+            raise ConfigurationError(
+                f"unknown window mode {mode!r}; known: "
+                f"{', '.join(WINDOW_MODES)}"
+            )
+        record: dict = {
+            "kind": "window",
+            "stream": key,
+            "index": int(index),
+            "mode": mode,
+        }
+        if digest is not None:
+            record["digest"] = digest
+        if accuracy is not None:
+            record["accuracy"] = float(accuracy)
+        record["frames"] = int(frames)
+        record["dropped"] = int(dropped)
+        if result is not None:
+            record["result"] = result
+        self._append(record)
+        stream = self.streams.get(key)
+        if stream is not None:
+            stream.windows[int(index)] = record
+            stream.dropped_frames += int(dropped)
+        faults.daemon_fault(f"{key}|w{index}")
+        return record
+
+    def record_degrade(self, transition: Transition) -> None:
+        """Journal one degradation-ladder transition."""
+        record = {"kind": "degrade", **transition.as_record()}
+        self._append(record)
+        stream = self.streams.get(transition.stream)
+        if stream is not None:
+            stream.transitions.append(record)
+
+    def record_retire(self, key: str, reason: str) -> None:
+        """Journal one stream leaving the pool."""
+        self._append({"kind": "retire", "stream": key, "reason": reason})
+        stream = self.streams.get(key)
+        if stream is not None:
+            stream.retired = True
+            stream.retire_reason = reason
+
+    def record_event(self, name: str, detail: dict | None = None) -> None:
+        """Journal one operational event (startup, drain, shutdown...)."""
+        record: dict = {"kind": "event", "name": name}
+        if detail:
+            record["detail"] = detail
+        self._append(record)
+        self.events.append(record)
+
+    # -- queries ------------------------------------------------------
+
+    def active_streams(self) -> list[StreamLog]:
+        """Admitted, not-yet-retired streams (what a restart resumes)."""
+        return [
+            stream
+            for stream in self.streams.values()
+            if not stream.retired
+        ]

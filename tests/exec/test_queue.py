@@ -1,7 +1,12 @@
 """Tests for the pull-model queue backend: claims, leases, reclaim, faults."""
 
+import os
+import signal
+import subprocess
+import sys
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
@@ -223,3 +228,187 @@ class TestPullModel:
         time.sleep(0.2)
         pending = [p.name for p in layout.pending.iterdir()]
         assert pending == [layout.message_name(spec_b.key)]
+
+
+class TestHeartbeatHardening:
+    """The phantom-hang fix: a dead beat thread must surface, loudly."""
+
+    def make_lease(self, tmp_path):
+        lease = tmp_path / "lease.json"
+        lease.write_text("{}\n")
+        return lease
+
+    def test_unexpected_beat_error_sets_failed(self, tmp_path, monkeypatch):
+        from repro.exec.queue import _Heartbeat
+
+        lease = self.make_lease(tmp_path)
+
+        def explode(path, *args, **kwargs):
+            raise PermissionError(13, "read-only filesystem", str(path))
+
+        monkeypatch.setattr("repro.exec.queue.os.utime", explode)
+        heartbeat = _Heartbeat(lease, interval_s=0.01)
+        heartbeat.start()
+        deadline = time.monotonic() + 10.0
+        while not heartbeat.failed:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        heartbeat.stop()
+        assert "PermissionError" in heartbeat.error
+        assert "read-only filesystem" in heartbeat.error
+
+    def test_vanished_lease_is_a_quiet_exit(self, tmp_path):
+        from repro.exec.queue import _Heartbeat
+
+        lease = self.make_lease(tmp_path)
+        lease.unlink()  # reclaimed from under us before the first beat
+        heartbeat = _Heartbeat(lease, interval_s=0.01)
+        heartbeat.start()
+        time.sleep(0.1)
+        heartbeat.stop()
+        assert not heartbeat.failed
+        assert heartbeat.error is None
+
+    def test_retriable_error_reply_collects_as_retriable(self, tmp_path):
+        """A worker's heartbeat-failure reply reaches the scheduler as a
+        *retriable* failure, unlike an in-cell error (deterministic)."""
+        backend = QueueBackend(
+            1, directory=tmp_path / "q", spawn=False
+        )
+        try:
+            spec, = make_shard_specs(CELLS[:1], 1, "float64")
+            protocol.write_message_file(
+                backend.layout.results / backend.layout.message_name(
+                    spec.key
+                ),
+                {
+                    "v": protocol.PROTOCOL_VERSION,
+                    "kind": "error",
+                    "id": spec.key,
+                    "error": "lease heartbeat thread failed mid-shard: "
+                             "PermissionError: [Errno 13] denied",
+                    "traceback": None,
+                    "worker": "q999-dead",
+                    "retriable": True,
+                },
+            )
+            outcome = backend._collect(spec, {})
+            assert isinstance(outcome, ShardFailure)
+            assert outcome.retriable
+            assert "retriable fault" in outcome.message
+        finally:
+            backend.close()
+
+
+class TestWorkerLifecycle:
+    """Graceful shutdown and orphan containment for queue workers."""
+
+    def fill_queue(self, tmp_path, duration):
+        layout = QueueLayout(tmp_path / "q").create(
+            lease_ttl_s=30.0, poll_s=0.02
+        )
+        cell = SystemCell(
+            "DaCapo-Spatiotemporal", "resnet18_wrn50", "S1", 0, duration
+        )
+        spec, = make_shard_specs([cell], 1, "float64")
+        protocol.write_message_file(
+            layout.pending / layout.message_name(spec.key),
+            protocol.encode_shard_request(spec),
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        return layout, spec, env
+
+    def test_sigterm_releases_lease_back_to_pending(self, tmp_path):
+        # A long prefix (~seconds of compute) so SIGTERM lands mid-shard.
+        layout, spec, env = self.fill_queue(tmp_path, 36000.0)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.exec.worker",
+             "--queue", str(layout.root)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            name = layout.message_name(spec.key)
+            deadline = time.monotonic() + 60.0
+            while (layout.pending / name).exists():
+                assert time.monotonic() < deadline, "never claimed"
+                time.sleep(0.02)
+            time.sleep(0.3)  # let the shard get into compute
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60.0) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # The lease was *released*, not abandoned: the message is back in
+        # pending/ for the next worker, and no lease file remains.
+        assert (layout.pending / name).exists()
+        assert layout.lease_of(spec.key) is None
+        # No result was posted for the interrupted shard.
+        assert not (layout.results / name).exists()
+
+    def test_orphaned_worker_exits_when_spawner_dies(self, tmp_path):
+        from repro.exec.queue import PARENT_PID_ENV
+
+        layout, spec, env = self.fill_queue(tmp_path, DURATION)
+        parent = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(600)"]
+        )
+        env[PARENT_PID_ENV] = str(parent.pid)
+        worker = subprocess.Popen(
+            [sys.executable, "-m", "repro.exec.worker",
+             "--queue", str(layout.root)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # The worker serves the queue normally while its named
+            # parent is alive...
+            name = layout.message_name(spec.key)
+            deadline = time.monotonic() + 120.0
+            while not (layout.results / name).exists():
+                assert time.monotonic() < deadline
+                assert worker.poll() is None, "worker died early"
+                time.sleep(0.05)
+            # ...and exits on its own once the parent is gone, instead
+            # of polling a dead daemon's queue forever.
+            parent.kill()
+            parent.wait()
+            assert worker.wait(timeout=60.0) == 0
+        finally:
+            for proc in (worker, parent):
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+
+    def test_recreate_clears_stale_stop_marker(self, tmp_path):
+        first = QueueBackend(1, directory=tmp_path / "q", spawn=False)
+        first.close()
+        assert (tmp_path / "q" / "stop").exists()
+        # A resumed service session reuses its queue directory: the new
+        # backend's workers must not retire on arrival.
+        second = QueueBackend(1, directory=tmp_path / "q", spawn=False)
+        try:
+            assert not second.layout.stop_marker.exists()
+        finally:
+            second.close()
+
+    def test_missing_queue_dir_exits_2_on_direct_entry(self, tmp_path):
+        _, _, env = self.fill_queue(tmp_path, DURATION)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.exec.worker",
+             "--queue", str(tmp_path / "nope")],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 2
+        assert result.stdout == ""
+        lines = [l for l in result.stderr.splitlines() if l]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ")
+        assert "not a queue directory" in lines[0]

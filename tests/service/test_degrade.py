@@ -1,0 +1,84 @@
+"""Tests for the degradation ladder state machine."""
+
+from repro.service.degrade import (
+    DegradationLadder,
+    DegradeLevel,
+    LEVEL_ACTIONS,
+    Transition,
+)
+
+
+class TestEscalation:
+    def test_one_level_per_miss(self):
+        ladder = DegradationLadder("cam0")
+        assert ladder.action() == "dispatch"
+        t = ladder.on_miss(3)
+        assert (t.from_level, t.to_level) == (
+            DegradeLevel.NORMAL, DegradeLevel.SKIP_RETRAIN,
+        )
+        assert ladder.action() == "defer"
+        ladder.on_miss(4)
+        assert ladder.level == DegradeLevel.STALE_STUDENT
+        assert ladder.action() == "stale"
+        ladder.on_miss(5)
+        assert ladder.level == DegradeLevel.SHED
+        assert ladder.action() == "shed"
+
+    def test_clamped_at_shed(self):
+        ladder = DegradationLadder("cam0")
+        for w in range(10):
+            ladder.on_miss(w)
+        assert ladder.level == DegradeLevel.SHED
+        # Clamped escalations return no transition (nothing to journal)
+        # but still count as misses.
+        assert ladder.on_miss(99) is None
+        assert ladder.misses == 11
+
+    def test_transition_record_shape(self):
+        t = Transition("cam0", 7, DegradeLevel.NORMAL,
+                       DegradeLevel.SKIP_RETRAIN, "deadline-miss")
+        assert t.as_record() == {
+            "stream": "cam0",
+            "window": 7,
+            "from": "NORMAL",
+            "to": "SKIP_RETRAIN",
+            "reason": "deadline-miss",
+        }
+
+
+class TestRecovery:
+    def test_one_level_per_recovery(self):
+        ladder = DegradationLadder("cam0")
+        for w in range(3):
+            ladder.on_miss(w)
+        t = ladder.on_recover(3)
+        assert (t.from_level, t.to_level) == (
+            DegradeLevel.SHED, DegradeLevel.STALE_STUDENT,
+        )
+        assert t.reason == "caught-up"
+        ladder.on_recover(4)
+        ladder.on_recover(5)
+        assert ladder.level == DegradeLevel.NORMAL
+        assert ladder.on_recover(6) is None  # clamped at NORMAL
+
+    def test_counters(self):
+        ladder = DegradationLadder("cam0")
+        ladder.on_miss(0)
+        ladder.on_recover(1)
+        ladder.on_recover(2)
+        assert ladder.misses == 1
+        assert ladder.recoveries == 2
+
+
+class TestDisabled:
+    def test_disabled_ladder_pins_normal_but_counts(self):
+        ladder = DegradationLadder("cam0", enabled=False)
+        assert ladder.on_miss(0) is None
+        assert ladder.on_miss(1) is None
+        assert ladder.level == DegradeLevel.NORMAL
+        assert ladder.action() == "dispatch"
+        assert ladder.misses == 2
+
+
+def test_every_level_has_an_action():
+    assert set(LEVEL_ACTIONS) == set(DegradeLevel)

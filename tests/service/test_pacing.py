@@ -1,0 +1,107 @@
+"""Tests for the real-time frame clock and per-stream pacers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.pacing import (
+    FrameClock,
+    window_count,
+    window_span,
+)
+
+
+class ManualClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestWindowMath:
+    def test_exact_division(self):
+        assert window_count(120.0, 60.0) == 2
+
+    def test_ragged_final_window(self):
+        assert window_count(125.0, 60.0) == 3
+        assert window_span(2, 125.0, 60.0) == (120.0, 125.0)
+
+    def test_stream_shorter_than_window_is_one_window(self):
+        assert window_count(10.0, 60.0) == 1
+        assert window_span(0, 10.0, 60.0) == (0.0, 10.0)
+
+    def test_float_noise_does_not_add_a_window(self):
+        # 0.3 / 0.1 is 2.9999...96 under floating point; the epsilon in
+        # window_count keeps that at 3 windows, not 4.
+        assert window_count(0.3, 0.1) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            window_count(0.0, 60.0)
+        with pytest.raises(ConfigurationError):
+            window_count(60.0, -1.0)
+
+
+class TestFrameClock:
+    def test_speedup_scales_wall_time(self):
+        clock = FrameClock(60.0, ManualClock())
+        assert clock.wall_per_stream_s(120.0) == pytest.approx(2.0)
+        assert not clock.eager
+
+    def test_eager_mode(self):
+        clock = FrameClock(0.0, ManualClock())
+        assert clock.eager
+        assert clock.wall_per_stream_s(1e9) == 0.0
+
+    def test_rejects_negative_speedup(self):
+        with pytest.raises(ConfigurationError):
+            FrameClock(-1.0)
+
+
+class TestStreamPacer:
+    def make(self, speedup=10.0, duration=120.0, window=60.0, epoch=100.0):
+        manual = ManualClock(epoch)
+        clock = FrameClock(speedup, manual)
+        return manual, clock.pacer(duration, window, epoch=epoch)
+
+    def test_arrival_schedule(self):
+        _, pacer = self.make()
+        # Window 0 covers stream [0, 60): fully arrived 6 wall seconds
+        # after the epoch at 10x; window 1 at 12.
+        assert pacer.arrival(0) == pytest.approx(106.0)
+        assert pacer.arrival(1) == pytest.approx(112.0)
+
+    def test_deadline_is_next_arrival(self):
+        _, pacer = self.make()
+        assert pacer.deadline(0) == pytest.approx(pacer.arrival(1))
+        # The final window has no successor: one extra window of wall.
+        assert pacer.deadline(1) == pytest.approx(118.0)
+
+    def test_due(self):
+        manual, pacer = self.make()
+        assert not pacer.due(0, manual())
+        manual.t = 106.0
+        assert pacer.due(0, manual.t)
+        assert not pacer.due(1, manual.t)
+        # Indices past the stream are never due.
+        assert not pacer.due(2, 1e9)
+
+    def test_slack_and_completion(self):
+        manual, pacer = self.make()
+        manual.t = 108.0
+        assert pacer.slack(0, manual.t) == pytest.approx(4.0)
+        assert pacer.record_completion(0, manual.t) == pytest.approx(4.0)
+        assert pacer.last_slack_s == pytest.approx(4.0)
+        manual.t = 115.0  # 3 s past window 1's deadline at 112
+        assert pacer.record_completion(1, manual.t) == pytest.approx(3.0)
+
+    def test_eager_pacer_has_no_deadlines(self):
+        manual = ManualClock(50.0)
+        pacer = FrameClock(0.0, manual).pacer(120.0, 60.0)
+        assert pacer.due(0, manual.t)
+        assert pacer.due(1, manual.t)
+        assert pacer.deadline(0) == float("inf")
+        # Eager completions record no slack: timing noise must never
+        # reach the session journal.
+        assert pacer.record_completion(0, manual.t) is None
+        assert pacer.last_slack_s is None

@@ -1,0 +1,136 @@
+"""Tests for the crash-safe session journal."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.shard import SystemCell, cell_key
+from repro.service.degrade import DegradeLevel, Transition
+from repro.service.session import (
+    SessionJournal,
+    session_fingerprint,
+    session_path,
+)
+
+FP = session_fingerprint("float64", 60.0)
+CELL = SystemCell("DaCapo-Ekya", "resnet18_wrn50", "S1", 0, 120.0)
+KEY = cell_key("float64", CELL)
+
+
+def make(tmp_path, resume=False):
+    return SessionJournal(session_path(tmp_path), FP, resume=resume)
+
+
+class TestFingerprint:
+    def test_pins_policy_and_window(self):
+        assert session_fingerprint("float64", 60.0) != session_fingerprint(
+            "float32", 60.0
+        )
+        assert session_fingerprint("float64", 60.0) != session_fingerprint(
+            "float64", 30.0
+        )
+
+    def test_resume_rejects_mismatch(self, tmp_path):
+        make(tmp_path)
+        with pytest.raises(ConfigurationError, match="different session"):
+            SessionJournal(
+                session_path(tmp_path),
+                session_fingerprint("float64", 30.0),
+                resume=True,
+            )
+
+    def test_resume_rejects_non_journal(self, tmp_path):
+        path = session_path(tmp_path)
+        path.write_text("not a journal\n")
+        with pytest.raises(ConfigurationError, match="not a version"):
+            SessionJournal(path, FP, resume=True)
+
+
+class TestRoundTrip:
+    def test_records_replay(self, tmp_path):
+        journal = make(tmp_path)
+        journal.record_event("start", {"resumed": False})
+        log = journal.record_admit(KEY, CELL, "float64", 120.0, 60.0)
+        assert log.total_windows == 2
+        journal.record_window(KEY, 0, "fresh", digest="d0",
+                              accuracy=0.9, frames=1800)
+        journal.record_degrade(
+            Transition(KEY, 1, DegradeLevel.NORMAL,
+                       DegradeLevel.SKIP_RETRAIN, "deadline-miss")
+        )
+        journal.record_window(KEY, 1, "shed", frames=1800, dropped=1800)
+        journal.record_retire(KEY, "complete")
+
+        reloaded = SessionJournal(session_path(tmp_path), FP, resume=True)
+        assert reloaded.resumed
+        stream = reloaded.streams[KEY]
+        assert stream.cell == CELL
+        assert stream.windows[0]["digest"] == "d0"
+        assert stream.windows[1]["mode"] == "shed"
+        assert stream.dropped_frames == 1800
+        assert len(stream.transitions) == 1
+        assert stream.retired and stream.retire_reason == "complete"
+        assert stream.complete
+        assert reloaded.active_streams() == []
+        assert [e["name"] for e in reloaded.events] == ["start"]
+
+    def test_window_records_are_timing_free(self, tmp_path):
+        journal = make(tmp_path)
+        journal.record_admit(KEY, CELL, "float64", 120.0, 60.0)
+        record = journal.record_window(KEY, 0, "fresh", digest="d0",
+                                       accuracy=0.9, frames=10)
+        assert set(record) <= {
+            "kind", "stream", "index", "mode", "digest",
+            "accuracy", "frames", "dropped", "result",
+        }
+
+    def test_rejects_unknown_mode(self, tmp_path):
+        journal = make(tmp_path)
+        journal.record_admit(KEY, CELL, "float64", 120.0, 60.0)
+        with pytest.raises(ConfigurationError, match="unknown window mode"):
+            journal.record_window(KEY, 0, "fresher")
+
+
+class TestNextWindow:
+    def test_gaps_above_do_not_advance(self, tmp_path):
+        journal = make(tmp_path)
+        log = journal.record_admit(KEY, CELL, "float64", 300.0, 60.0)
+        journal.record_window(KEY, 0, "fresh", digest="d0")
+        journal.record_window(KEY, 3, "shed", frames=10, dropped=10)
+        assert log.next_window == 1
+        journal.record_window(KEY, 1, "fresh", digest="d1")
+        assert log.next_window == 2
+        journal.record_window(KEY, 2, "stale", accuracy=0.5)
+        assert log.next_window == 4
+        assert not log.complete
+
+
+class TestTornTail:
+    def test_torn_final_line_is_dropped_and_terminated(self, tmp_path):
+        journal = make(tmp_path)
+        journal.record_admit(KEY, CELL, "float64", 120.0, 60.0)
+        journal.record_window(KEY, 0, "fresh", digest="d0")
+        path = session_path(tmp_path)
+        torn = json.dumps({"kind": "window", "stream": KEY, "index": 1,
+                           "mode": "fresh", "digest": "d1"})
+        with path.open("a") as handle:
+            handle.write(torn[: len(torn) // 2])
+
+        reloaded = SessionJournal(path, FP, resume=True)
+        stream = reloaded.streams[KEY]
+        # The torn window never happened; the intact prefix survives.
+        assert list(stream.windows) == [0]
+        assert stream.next_window == 1
+        # The torn tail was newline-terminated: appending again yields a
+        # parseable file end to end except the one torn line.
+        reloaded.record_window(KEY, 1, "fresh", digest="d1-again")
+        lines = path.read_text().splitlines()
+        parsed = []
+        for line in lines:
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError:
+                parsed.append(None)
+        assert parsed.count(None) == 1
+        assert parsed[-1]["digest"] == "d1-again"

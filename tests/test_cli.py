@@ -232,3 +232,67 @@ class TestParser:
             main(["--help"])
         assert excinfo.value.code == 0
         assert "worker" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serves_a_spec_to_completion(self, tiny_spec_path, tmp_path,
+                                         capsys):
+        out_dir = tmp_path / "svc"
+        code = main([
+            "serve", str(tiny_spec_path),
+            "--out", str(out_dir), "--window", "30",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 2 stream(s)" in out
+        assert "session journal" in out
+        records = [
+            json.loads(line)
+            for line in (out_dir / "session.jsonl").read_text().splitlines()
+        ]
+        windows = [r for r in records if r.get("kind") == "window"]
+        # 2 streams x (60 s / 30 s) windows, all fresh in eager mode.
+        assert len(windows) == 4
+        assert all(r["mode"] == "fresh" for r in windows)
+        assert (out_dir / "state.json").is_file()
+
+    def test_rerun_resumes_without_recompute(self, tiny_spec_path, tmp_path,
+                                             capsys):
+        out_dir = tmp_path / "svc"
+        argv = ["serve", str(tiny_spec_path),
+                "--out", str(out_dir), "--window", "30"]
+        assert main(argv) == 0
+        before = (out_dir / "session.jsonl").read_text()
+        assert main(argv) == 0
+        after = (out_dir / "session.jsonl").read_text()
+        # Every stream was already complete: the rerun appends only its
+        # own start/shutdown events, never another window record.
+        assert after.startswith(before)
+        fresh = [
+            json.loads(line) for line in after.splitlines()
+        ]
+        assert sum(1 for r in fresh if r.get("kind") == "window") == 4
+
+    def test_multi_policy_spec_exits_2(self, tmp_path, capsys):
+        spec = json.loads(json.dumps(TINY_SWEEP))
+        spec["axes"]["policies"] = ["float64", "float32"]
+        path = tmp_path / "multi.json"
+        path.write_text(json.dumps(spec))
+        code = main([
+            "serve", str(path), "--out", str(tmp_path / "svc"),
+        ])
+        assert code == 2
+        assert "single-policy" in capsys.readouterr().err
+
+    def test_missing_spec_exits_2(self, tmp_path, capsys):
+        code = main([
+            "serve", str(tmp_path / "nope.toml"),
+            "--out", str(tmp_path / "svc"),
+        ])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_worker_missing_queue_dir_exits_2(self, tmp_path, capsys):
+        assert main(["worker", "--queue", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert "not a queue directory" in err
