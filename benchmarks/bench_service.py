@@ -17,6 +17,13 @@ runs one oversubscribed paced stream and records what the degradation
 ladder sheds, pricing graceful degradation rather than asserting
 timing (CI runners are too noisy for deadline guarantees).
 
+A third section prices the incremental-window alternative
+(``window_mode="incremental"``): per-window wall time of chained
+snapshot-resumed runs against the growing prefix runs, asserting the
+incremental curve stays flat (O(window) per window) while the prefix
+curve grows with the window index -- and that every per-window digest
+matches, since the speedup is only admissible at bit-identity.
+
 ``REPRO_BENCH_QUICK=1`` (CI) shrinks the grid; emits
 ``benchmarks/results/BENCH_service.json``.
 """
@@ -26,11 +33,12 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.core.parallel import run_cells
 from repro.exec import SystemCell
-from repro.exec.shard import cell_key
+from repro.exec.shard import cell_key, run_cell, run_cell_incremental
 from repro.reference import run_digest
 from repro.service import FleetService, ServiceConfig
 from repro.service.pacing import window_count
@@ -117,8 +125,7 @@ def test_service_overhead_and_final_window_identity(tmp_path):
     assert stream["retired"]
     assert stream["misses"] > 0
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    OUTPUT.write_text(json.dumps({
+    _merge_output({
         "quick": QUICK,
         "streams": len(cells),
         "window_s": WINDOW_S,
@@ -134,4 +141,69 @@ def test_service_overhead_and_final_window_identity(tmp_path):
             "drop_rate": stream["drop_rate"],
             "final_level": stream["level"],
         },
-    }, indent=2) + "\n")
+    })
+
+
+def test_incremental_vs_prefix_window_curve():
+    # Segment-aligned 60 s windows on an 8-window stream: the shape the
+    # incremental service dispatches.  Prefix cost grows with the window
+    # index (window i re-simulates [0, end_i)); incremental cost is one
+    # window's worth of stream regardless of i.
+    n_windows = 8
+    window_s = 60.0
+    cell = SystemCell(
+        "DaCapo-Ekya", "resnet18_wrn50", "S1", 0, n_windows * window_s
+    )
+    run_cell(replace(cell, duration_s=window_s))  # warm the model caches
+
+    prefix_times: list[float] = []
+    incremental_times: list[float] = []
+    snapshot = None
+    for i in range(n_windows):
+        end = window_s * (i + 1)
+        start = time.perf_counter()
+        prefix_result = run_cell(replace(cell, duration_s=end))
+        prefix_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        incremental_result, snapshot = run_cell_incremental(
+            replace(cell, duration_s=end),
+            snapshot=snapshot,
+            emit_snapshot=True,
+        )
+        incremental_times.append(time.perf_counter() - start)
+        # The speedup is only admissible at bit-identity.
+        assert run_digest(incremental_result) == run_digest(prefix_result), i
+
+    prefix_total = sum(prefix_times)
+    incremental_total = sum(incremental_times)
+    speedup = prefix_total / incremental_total
+    # O(W) vs O(W^2): at 8 windows the prefix sum is 4.5x the stream, so
+    # even with fixed per-window setup the ratio clears 2x comfortably.
+    assert speedup >= 2.0, (prefix_times, incremental_times)
+    # Flatness (lenient -- CI wall clocks are noisy): every steady-state
+    # incremental window stays below the final, largest prefix window.
+    assert max(incremental_times[1:]) < prefix_times[-1], (
+        prefix_times, incremental_times,
+    )
+
+    _merge_output({
+        "incremental": {
+            "windows": n_windows,
+            "window_s": window_s,
+            "prefix_window_s": prefix_times,
+            "incremental_window_s": incremental_times,
+            "prefix_total_s": prefix_total,
+            "incremental_total_s": incremental_total,
+            "speedup": speedup,
+        },
+    })
+
+
+def _merge_output(section: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data = {}
+    if OUTPUT.exists():
+        data = json.loads(OUTPUT.read_text())
+    data.update(section)
+    OUTPUT.write_text(json.dumps(data, indent=2) + "\n")

@@ -207,6 +207,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         control_port=args.control,
         degrade=not args.no_degrade,
         stay=args.stay,
+        window_mode=args.window_mode,
     )
     group = plan.groups[0]
     print(
@@ -354,6 +355,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="keep serving after all streams retire "
                               "(admit more over the control plane); "
                               "default exits when idle")
+    p_serve.add_argument("--window-mode", default=None,
+                         choices=["incremental", "prefix"],
+                         help="incremental (default; resume each window "
+                              "from the previous window's run-state "
+                              "snapshot) or prefix (stateless full-"
+                              "prefix recompute); both journal "
+                              "byte-identical window records; default "
+                              "honours $REPRO_WINDOW_MODE")
 
     p_worker = sub.add_parser(
         "worker",

@@ -15,15 +15,13 @@
 
 from __future__ import annotations
 
-from typing import Iterator
-
 import numpy as np
 
 from repro.core.config import DaCapoConfig
 from repro.core.phases import PhaseKind
 from repro.core.system import CLSystemBase, PhaseStep
 from repro.data.stream import FrameWindow
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SnapshotError
 from repro.learn.student import StudentModel
 from repro.learn.teacher import TeacherModel
 from repro.models.zoo import ModelPair
@@ -81,37 +79,87 @@ class FixedWindowSystem(CLSystemBase):
             raise ConfigurationError("sampling rate must be in (0, 1]")
         self.window_s = window_s
         self.sampling_rate = sampling_rate
+        self._win_pos = "start"
+        self._win_used = 0.0
+        self._win_num_label = 0
+        self._win_label_time = 0.0
 
-    def phase_generator(
+    def next_phase(
         self, frames: FrameWindow, rng: np.random.Generator
-    ) -> Iterator[PhaseStep]:
+    ) -> PhaseStep | None:
         while True:
-            used = 0.0
-            # Retraining must fit the window; what does not fit is cut
-            # (incomplete models under resource starvation, as on OrinLow).
-            step, _ = self.do_retrain(rng, max_duration_s=self.window_s)
-            if step is not None:
-                used = step.duration_s
-                yield step
-            remaining = self.window_s - used
-            if remaining <= 0:
+            if self._win_pos == "start":
+                # Retraining must fit the window; what does not fit is cut
+                # (incomplete models under resource starvation, as on
+                # OrinLow).
+                step, _ = self.do_retrain(
+                    rng, max_duration_s=self.window_s
+                )
+                self._win_pos = "tail"
+                if step is not None:
+                    self._win_used = step.duration_s
+                    return step
+                self._win_used = 0.0
                 continue
-            sps = self.labeling_sps()
-            target = int(
-                self.sampling_rate * self.config.frame_rate * remaining
+            if self._win_pos == "tail":
+                remaining = self.window_s - self._win_used
+                self._win_pos = "start"
+                if remaining <= 0:
+                    continue
+                sps = self.labeling_sps()
+                target = int(
+                    self.sampling_rate * self.config.frame_rate * remaining
+                )
+                num_label = (
+                    min(target, int(sps * remaining)) if sps > 0 else 0
+                )
+                if num_label < 1:
+                    return PhaseStep(PhaseKind.IDLE, remaining)
+                step, _ = self.do_label(frames, num_label, rng)
+                label_time = min(step.duration_s, remaining)
+                # Idle first, then label at the window tail so the
+                # freshest samples feed the next window's retraining.
+                if remaining - label_time > 1e-9:
+                    self._win_pos = "label"
+                    self._win_num_label = num_label
+                    self._win_label_time = label_time
+                    return PhaseStep(
+                        PhaseKind.IDLE, remaining - label_time
+                    )
+                step.duration_s = label_time
+                return step
+            # "label": the window-tail labeling after its idle gap.
+            # Generating a label step consumes no RNG, so regenerating it
+            # here (after a checkpoint/resume) is exact.
+            self._win_pos = "start"
+            step, _ = self.do_label(frames, self._win_num_label, rng)
+            step.duration_s = self._win_label_time
+            return step
+
+    def scheduler_state(self) -> dict:
+        return {
+            "kind": "fixed_window",
+            "pos": self._win_pos,
+            "used": self._win_used,
+            "num_label": self._win_num_label,
+            "label_time": self._win_label_time,
+        }
+
+    def restore_scheduler_state(self, state: dict) -> None:
+        if state.get("kind") != "fixed_window":
+            raise SnapshotError(
+                f"{self.name}: scheduler state kind "
+                f"{state.get('kind')!r} is not 'fixed_window'"
             )
-            num_label = min(target, int(sps * remaining)) if sps > 0 else 0
-            if num_label < 1:
-                yield PhaseStep(PhaseKind.IDLE, remaining)
-                continue
-            step, _ = self.do_label(frames, num_label, rng)
-            label_time = min(step.duration_s, remaining)
-            step.duration_s = label_time
-            # Idle first, then label at the window tail so the freshest
-            # samples feed the next window's retraining.
-            if remaining - label_time > 1e-9:
-                yield PhaseStep(PhaseKind.IDLE, remaining - label_time)
-            yield step
+        pos = state.get("pos")
+        if pos not in ("start", "tail", "label"):
+            raise SnapshotError(
+                f"{self.name}: unknown scheduler cursor {pos!r}"
+            )
+        self._win_pos = pos
+        self._win_used = float(state.get("used", 0.0))
+        self._win_num_label = int(state.get("num_label", 0))
+        self._win_label_time = float(state.get("label_time", 0.0))
 
 
 class EomuSystem(CLSystemBase):
@@ -140,50 +188,53 @@ class EomuSystem(CLSystemBase):
         self._agreement_ema: float | None = None
         self._retrain_pending = False
 
-    def phase_generator(
+    def next_phase(
         self, frames: FrameWindow, rng: np.random.Generator
-    ) -> Iterator[PhaseStep]:
+    ) -> PhaseStep | None:
         config = self.config
-        while True:
-            if self._retrain_pending and len(self.buffer) >= 16:
-                self._retrain_pending = False
-                (x_train, y_train), _ = self.buffer.draw(
-                    EOMU_RETRAIN_SAMPLES, 1, rng
+        if self._retrain_pending and len(self.buffer) >= 16:
+            self._retrain_pending = False
+            (x_train, y_train), _ = self.buffer.draw(
+                EOMU_RETRAIN_SAMPLES, 1, rng
+            )
+            # Retraining is squeezed into one monitoring window; the
+            # samples that do not fit are dropped (incomplete models).
+            duration = self.retrain_duration_s(len(x_train), 0)
+            if duration > self.window_s:
+                keep = max(
+                    16, int(len(x_train) * self.window_s / duration)
                 )
-                # Retraining is squeezed into one monitoring window; the
-                # samples that do not fit are dropped (incomplete models).
-                duration = self.retrain_duration_s(len(x_train), 0)
-                if duration > self.window_s:
-                    keep = max(
-                        16, int(len(x_train) * self.window_s / duration)
-                    )
-                    x_train, y_train = x_train[:keep], y_train[:keep]
-                    duration = min(
-                        self.retrain_duration_s(len(x_train), 0),
-                        self.window_s,
-                    )
-
-                def commit(t0: float, t1: float) -> bool:
-                    self.student.retrain(
-                        x_train,
-                        y_train,
-                        epochs=1,
-                        rng=rng,
-                        learning_rate=config.learning_rate,
-                        batch_size=config.batch_size,
-                    )
-                    return False
-
-                yield PhaseStep(
-                    PhaseKind.RETRAIN, duration, len(x_train), commit
+                x_train, y_train = x_train[:keep], y_train[:keep]
+                duration = min(
+                    self.retrain_duration_s(len(x_train), 0),
+                    self.window_s,
                 )
 
-            # Monitoring window: probe-label fresh frames.
-            probe = EOMU_PROBE_LABELS
-            step, outcome = self.do_label(frames, probe, rng)
-            step.duration_s = self.window_s
-            yield step
-            accl = outcome.get("accl")
+            def commit(t0: float, t1: float) -> bool:
+                self.student.retrain(
+                    x_train,
+                    y_train,
+                    epochs=1,
+                    rng=rng,
+                    learning_rate=config.learning_rate,
+                    batch_size=config.batch_size,
+                )
+                return False
+
+            return PhaseStep(
+                PhaseKind.RETRAIN, duration, len(x_train), commit
+            )
+
+        # Monitoring window: probe-label fresh frames.
+        step, outcome = self.do_label(frames, EOMU_PROBE_LABELS, rng)
+        step.duration_s = self.window_s
+        base_commit = step.commit
+
+        def commit(
+            t0: float, t1: float, _commit=base_commit, _outcome=outcome
+        ) -> bool:
+            drift = _commit(t0, t1)
+            accl = _outcome.get("accl")
             if accl is not None:
                 if (
                     self._agreement_ema is not None
@@ -197,6 +248,27 @@ class EomuSystem(CLSystemBase):
                         EOMU_EMA_ALPHA * accl
                         + (1 - EOMU_EMA_ALPHA) * self._agreement_ema
                     )
+            return drift
+
+        step.commit = commit
+        return step
+
+    def scheduler_state(self) -> dict:
+        return {
+            "kind": "eomu",
+            "ema": self._agreement_ema,
+            "pending": self._retrain_pending,
+        }
+
+    def restore_scheduler_state(self, state: dict) -> None:
+        if state.get("kind") != "eomu":
+            raise SnapshotError(
+                f"{self.name}: scheduler state kind "
+                f"{state.get('kind')!r} is not 'eomu'"
+            )
+        ema = state.get("ema")
+        self._agreement_ema = None if ema is None else float(ema)
+        self._retrain_pending = bool(state.get("pending", False))
 
 
 class NoRetrainSystem(CLSystemBase):
@@ -227,7 +299,7 @@ class NoRetrainSystem(CLSystemBase):
                 0.0, 1.0 - self.inference_fps / config.frame_rate
             )
 
-    def phase_generator(
+    def next_phase(
         self, frames: FrameWindow, rng: np.random.Generator
-    ) -> Iterator[PhaseStep]:
-        return iter(())  # no training-side phases at all
+    ) -> PhaseStep | None:
+        return None  # no training-side phases at all

@@ -74,6 +74,37 @@ class SampleBuffer:
         self._features = np.empty((0, self.feature_dim), dtype=self.dtype)
         self._labels = np.empty(0, dtype=np.int64)
 
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the stored ``(features, labels)``, oldest first."""
+        return self._features.copy(), self._labels.copy()
+
+    def restore(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """Replace the contents with a :meth:`snapshot`'s arrays.
+
+        Raises:
+            ScheduleError: If the arrays do not fit this buffer's shape,
+                dtype, or capacity.
+        """
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        if features.ndim != 2 or features.shape[1] != self.feature_dim:
+            raise ScheduleError(
+                f"expected (n, {self.feature_dim}) features, "
+                f"got {features.shape}"
+            )
+        if features.dtype != self.dtype:
+            raise ScheduleError(
+                f"expected {self.dtype} features, got {features.dtype}"
+            )
+        if len(features) != len(labels):
+            raise ScheduleError("features and labels must align")
+        if len(labels) > self.capacity:
+            raise ScheduleError(
+                f"{len(labels)} samples exceed capacity {self.capacity}"
+            )
+        self._features = features.copy()
+        self._labels = np.asarray(labels, dtype=np.int64).copy()
+
     def draw(
         self, num_train: int, num_validation: int, rng: np.random.Generator
     ) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:

@@ -4,8 +4,19 @@
 shares -- advancing the clock through phases, evaluating the student on the
 frames of each phase interval under the weights active at that moment,
 modeling frame drops, and accounting energy.  Subclasses contribute only a
-*phase generator*: an iterator of :class:`PhaseStep` objects whose commit
-callbacks mutate the student/buffer when the phase completes.
+scheduler: :meth:`~CLSystemBase.next_phase` returns one planned
+:class:`PhaseStep` at a time (None when exhausted), and the phase's commit
+callback mutates the student/buffer when the phase completes.
+
+The run loop itself lives in :class:`RunExecution`, a checkpointable state
+machine: after every phase that commits *untruncated*, the execution can
+capture a :class:`~repro.core.snapshot.RunCheckpoint` (weights, buffer,
+RNG state, clock, per-frame prefixes, scheduler cursor) from which a later
+execution resumes bit-identically.  That is what lets the fleet service
+compute window ``i+1`` from window ``i``'s snapshot instead of replaying
+the whole stream prefix.  Systems that still override
+:meth:`~CLSystemBase.phase_generator` with a plain generator keep working
+but cannot checkpoint or resume.
 
 :class:`DaCapoSystem` implements the paper's Algorithm 1 on top of this:
 retrain -> validate -> label -> drift check, with the labeling escalation
@@ -25,14 +36,15 @@ from repro.core.buffer import SampleBuffer
 from repro.core.config import DaCapoConfig
 from repro.core.phases import PhaseKind, PhaseRecord
 from repro.core.results import RunResult
+from repro.core.snapshot import RunCheckpoint
 from repro.data.stream import FrameWindow, ScenarioStream
-from repro.errors import ScheduleError
+from repro.errors import ScheduleError, SnapshotError
 from repro.learn.student import StudentModel
 from repro.learn.teacher import TeacherModel
 from repro.models.zoo import ModelPair
 from repro.platform.base import Platform
 
-__all__ = ["PhaseStep", "CLSystemBase", "DaCapoSystem"]
+__all__ = ["PhaseStep", "CLSystemBase", "DaCapoSystem", "RunExecution"]
 
 #: Below this many buffered samples, retraining is skipped (one batch).
 MIN_RETRAIN_SAMPLES = 16
@@ -142,11 +154,41 @@ class CLSystemBase:
 
     # -- scheduling hook ---------------------------------------------------
 
+    def next_phase(
+        self, frames: FrameWindow, rng: np.random.Generator
+    ) -> PhaseStep | None:
+        """The scheduler's next planned phase, or None when exhausted.
+
+        The resumable scheduling hook: systems implement this (plus
+        :meth:`scheduler_state` / :meth:`restore_scheduler_state` when they
+        carry cursor state across phases) so a :class:`RunExecution` can
+        checkpoint between phases.  State that a phase *decides* must be
+        updated in its commit callback, not at generation time -- a
+        generated step may be discarded when the stream truncates it.
+        """
+        raise NotImplementedError
+
     def phase_generator(
         self, frames: FrameWindow, rng: np.random.Generator
     ) -> Iterator[PhaseStep]:
-        """Yield the system's schedule; overridden by every system."""
-        raise NotImplementedError
+        """Yield the schedule by driving :meth:`next_phase`.
+
+        Subclasses may still override this with a plain generator; such
+        systems run normally but cannot checkpoint or resume (see
+        :class:`RunExecution`).
+        """
+        while True:
+            step = self.next_phase(frames, rng)
+            if step is None:
+                return
+            yield step
+
+    def scheduler_state(self) -> dict:
+        """The scheduler's cursor state, as a JSON-safe dict."""
+        return {}
+
+    def restore_scheduler_state(self, state: dict) -> None:
+        """Restore a cursor captured by :meth:`scheduler_state`."""
 
     # -- helpers shared by schedulers ---------------------------------------
 
@@ -275,56 +317,9 @@ class CLSystemBase:
 
     def run(self, stream: ScenarioStream, seed: int = 0) -> RunResult:
         """Simulate the system over a scenario stream."""
-        with profiling.scope(profiling.MATERIALIZE):
-            frames = stream.materialize(seed)
-        duration = stream.duration_s
-        rng = np.random.default_rng(
-            (seed, zlib.crc32(self.name.encode()) & 0xFFFF)
-        )
-
-        correct = np.zeros(len(frames), dtype=bool)
-        dropped = np.zeros(len(frames), dtype=bool)
-        records: list[PhaseRecord] = []
-        clock = 0.0
-
-        for step in self.phase_generator(frames, rng):
-            if step.duration_s <= 0:
-                raise ScheduleError(
-                    f"{self.name}: non-positive phase duration"
-                )
-            end = min(clock + step.duration_s, duration)
-            self._evaluate_interval(frames, clock, end, correct, dropped, rng)
-            drift = False
-            if step.commit is not None:
-                drift = step.commit(clock, end)
-            records.append(
-                PhaseRecord(step.kind, clock, end, step.samples, drift)
-            )
-            clock = end
-            if clock >= duration:
-                break
-
-        if clock < duration:
-            # Scheduler exhausted early (e.g. no-retrain systems): evaluate
-            # the remainder under the final weights.
-            self._evaluate_interval(
-                frames, clock, duration, correct, dropped, rng
-            )
-            records.append(PhaseRecord(PhaseKind.IDLE, clock, duration))
-
-        power = self.platform.average_power_w(1.0)
-        return RunResult(
-            system=self.name,
-            scenario=stream.name,
-            pair=self.pair.name,
-            times=frames.times,
-            correct=correct,
-            dropped=dropped,
-            phases=tuple(records),
-            duration_s=duration,
-            energy_j=power * duration,
-            average_power_w=power,
-        )
+        execution = RunExecution(self, stream, seed)
+        execution.run_to_end()
+        return execution.result()
 
     def _evaluate_interval(
         self,
@@ -354,6 +349,233 @@ class CLSystemBase:
             correct[lo:hi] = ok
 
 
+class RunExecution:
+    """The run loop as a checkpointable state machine.
+
+    Drives a system's scheduler phase by phase, exactly as the historical
+    ``CLSystemBase.run`` generator loop did -- same clock advancement, same
+    truncation at stream end, same RNG consumption order -- but the state
+    between phases is explicit, so it can be captured into a
+    :class:`~repro.core.snapshot.RunCheckpoint` and restored later.
+
+    Safe points: a checkpoint is captured (when ``capture`` is on) after
+    every phase whose planned duration fit the remaining stream.  The final
+    *truncated* phase's commit mutates state that the full-length run would
+    have reached differently, so it is deliberately not captured -- a
+    resumed execution restores the last safe point and regenerates that
+    phase against the longer stream.  When the scheduler exhausts, the
+    trailing idle is captured with ``idle_from`` set; resuming then
+    *extends* the idle record rather than re-asking the exhausted
+    scheduler.
+
+    Args:
+        system: The system to run; its student/buffer are mutated.
+        stream: The scenario stream.
+        seed: Stream + RNG seed (as in :meth:`CLSystemBase.run`).
+        checkpoint: Resume from this safe point instead of t=0.  The
+            system must be resumable (no legacy ``phase_generator``
+            override) and the checkpoint's frame prefix must match the
+            stream, else :class:`SnapshotError`.
+        capture: Keep a checkpoint of the latest safe point (costs array
+            copies per phase; the monolithic ``run()`` leaves it off).
+    """
+
+    def __init__(
+        self,
+        system: CLSystemBase,
+        stream: ScenarioStream,
+        seed: int = 0,
+        *,
+        checkpoint: RunCheckpoint | None = None,
+        capture: bool = False,
+    ) -> None:
+        self.system = system
+        self.stream = stream
+        self.seed = seed
+        with profiling.scope(profiling.MATERIALIZE):
+            self.frames = stream.materialize(seed)
+        self.duration = stream.duration_s
+        self.resumable = (
+            type(system).phase_generator is CLSystemBase.phase_generator
+        )
+        self.capture_enabled = bool(capture) and self.resumable
+        self._checkpoint: RunCheckpoint | None = None
+        self._iterator: Iterator[PhaseStep] | None = None
+
+        if checkpoint is not None:
+            if not self.resumable:
+                raise SnapshotError(
+                    f"{system.name}: overrides phase_generator and cannot "
+                    f"resume from a snapshot"
+                )
+            self._restore(checkpoint)
+        else:
+            self.rng = np.random.default_rng(
+                (seed, zlib.crc32(system.name.encode()) & 0xFFFF)
+            )
+            self.correct = np.zeros(len(self.frames), dtype=bool)
+            self.dropped = np.zeros(len(self.frames), dtype=bool)
+            self.records: list[PhaseRecord] = []
+            self.clock = 0.0
+            self.idle_from: float | None = None
+        if not self.resumable:
+            self._iterator = system.phase_generator(self.frames, self.rng)
+        if self.capture_enabled:
+            self._capture()
+
+    def _restore(self, chk: RunCheckpoint) -> None:
+        system = self.system
+        prefix = int(
+            np.searchsorted(self.frames.times, chk.clock, side="left")
+        )
+        if prefix != len(chk.correct) or prefix != len(chk.dropped):
+            raise SnapshotError(
+                f"{system.name}: snapshot prefix covers {len(chk.correct)} "
+                f"frames but the stream has {prefix} before t={chk.clock:g}"
+            )
+        if chk.clock > self.duration + 1e-9:
+            raise SnapshotError(
+                f"{system.name}: snapshot clock {chk.clock:g}s is past the "
+                f"stream end {self.duration:g}s"
+            )
+        system.student.restore(chk.student)
+        if chk.teacher is not None:
+            if system.teacher is None:
+                raise SnapshotError(
+                    f"{system.name}: snapshot carries teacher weights but "
+                    f"the system has no teacher"
+                )
+            system.teacher.mlp.restore(chk.teacher)
+        system.buffer.restore(chk.buffer_features, chk.buffer_labels)
+        system.restore_scheduler_state(chk.scheduler)
+        self.rng = np.random.default_rng(
+            (self.seed, zlib.crc32(system.name.encode()) & 0xFFFF)
+        )
+        self.rng.bit_generator.state = chk.rng_state
+        self.correct = np.zeros(len(self.frames), dtype=bool)
+        self.dropped = np.zeros(len(self.frames), dtype=bool)
+        self.correct[:prefix] = chk.correct
+        self.dropped[:prefix] = chk.dropped
+        self.records = list(chk.records)
+        self.clock = float(chk.clock)
+        self.idle_from = chk.idle_from
+
+    def _capture(self) -> None:
+        system = self.system
+        prefix = int(
+            np.searchsorted(self.frames.times, self.clock, side="left")
+        )
+        features, labels = system.buffer.snapshot()
+        self._checkpoint = RunCheckpoint(
+            clock=self.clock,
+            idle_from=self.idle_from,
+            rng_state=self.rng.bit_generator.state,
+            student=system.student.snapshot(),
+            teacher=(
+                None
+                if system.teacher is None
+                else system.teacher.mlp.snapshot()
+            ),
+            buffer_features=features,
+            buffer_labels=labels,
+            scheduler=system.scheduler_state(),
+            correct=self.correct[:prefix].copy(),
+            dropped=self.dropped[:prefix].copy(),
+            records=tuple(self.records),
+        )
+
+    def checkpoint(self) -> RunCheckpoint | None:
+        """The latest safe point (None unless ``capture`` was on)."""
+        return self._checkpoint
+
+    def _next_step(self) -> PhaseStep | None:
+        if self._iterator is not None:
+            return next(self._iterator, None)
+        return self.system.next_phase(self.frames, self.rng)
+
+    def run_to_end(self) -> None:
+        """Advance from the current state to the end of the stream."""
+        system = self.system
+        frames = self.frames
+        duration = self.duration
+
+        if self.idle_from is not None and self.clock < duration:
+            # Resumed past scheduler exhaustion: the origin run already
+            # appended the trailing idle record; extend it to the new end
+            # so the trace matches a monolithic run's single idle phase.
+            system._evaluate_interval(
+                frames, self.clock, duration, self.correct, self.dropped,
+                self.rng,
+            )
+            last = self.records[-1] if self.records else None
+            if last is not None and last.kind is PhaseKind.IDLE:
+                self.records[-1] = PhaseRecord(
+                    PhaseKind.IDLE, last.start_s, duration
+                )
+            else:
+                self.records.append(
+                    PhaseRecord(PhaseKind.IDLE, self.clock, duration)
+                )
+            self.clock = duration
+            if self.capture_enabled:
+                self._capture()
+            return
+
+        while self.clock < duration:
+            step = self._next_step()
+            if step is None:
+                # Scheduler exhausted early (e.g. no-retrain systems):
+                # evaluate the remainder under the final weights.
+                self.idle_from = self.clock
+                system._evaluate_interval(
+                    frames, self.clock, duration, self.correct,
+                    self.dropped, self.rng,
+                )
+                self.records.append(
+                    PhaseRecord(PhaseKind.IDLE, self.clock, duration)
+                )
+                self.clock = duration
+                if self.capture_enabled:
+                    self._capture()
+                return
+            if step.duration_s <= 0:
+                raise ScheduleError(
+                    f"{system.name}: non-positive phase duration"
+                )
+            truncated = self.clock + step.duration_s > duration
+            end = min(self.clock + step.duration_s, duration)
+            system._evaluate_interval(
+                frames, self.clock, end, self.correct, self.dropped,
+                self.rng,
+            )
+            drift = False
+            if step.commit is not None:
+                drift = step.commit(self.clock, end)
+            self.records.append(
+                PhaseRecord(step.kind, self.clock, end, step.samples, drift)
+            )
+            self.clock = end
+            if self.capture_enabled and not truncated:
+                self._capture()
+
+    def result(self) -> RunResult:
+        """The run's :class:`RunResult` (call after :meth:`run_to_end`)."""
+        system = self.system
+        power = system.platform.average_power_w(1.0)
+        return RunResult(
+            system=system.name,
+            scenario=self.stream.name,
+            pair=system.pair.name,
+            times=self.frames.times,
+            correct=self.correct,
+            dropped=self.dropped,
+            phases=tuple(self.records),
+            duration_s=self.duration,
+            energy_j=power * self.duration,
+            average_power_w=power,
+        )
+
+
 class DaCapoSystem(CLSystemBase):
     """DaCapo-Spatiotemporal: Algorithm 1 on the partitioned accelerator.
 
@@ -368,33 +590,93 @@ class DaCapoSystem(CLSystemBase):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._accv: float | None = None
+        self._cursor = "retrain"
 
-    def phase_generator(
+    def next_phase(
         self, frames: FrameWindow, rng: np.random.Generator
-    ) -> Iterator[PhaseStep]:
+    ) -> PhaseStep | None:
         config = self.config
         while True:
-            # Retraining (Algorithm 1 lines 4-7); skipped while the buffer
-            # is still bootstrapping.
-            step, outcome = self.do_retrain(rng)
-            if step is not None:
-                yield step
-                if "accv" in outcome:
-                    self._accv = outcome["accv"]
+            if self._cursor == "retrain":
+                # Retraining (Algorithm 1 lines 4-7); skipped while the
+                # buffer is still bootstrapping.
+                self._cursor = "label"
+                step, outcome = self.do_retrain(rng)
+                if step is None:
+                    continue
+                base_commit = step.commit
 
-            # Labeling + drift check (lines 8-13).
-            step, outcome = self.do_label(
-                frames,
-                config.num_label,
-                rng,
-                check_drift_against=lambda: self._accv,
+                def commit(
+                    t0: float,
+                    t1: float,
+                    _commit=base_commit,
+                    _outcome=outcome,
+                ) -> bool:
+                    drift = _commit(t0, t1)
+                    if "accv" in _outcome:
+                        self._accv = _outcome["accv"]
+                    return drift
+
+                step.commit = commit
+                return step
+
+            if self._cursor == "label":
+                # Labeling + drift check (lines 8-13).
+                step, outcome = self.do_label(
+                    frames,
+                    config.num_label,
+                    rng,
+                    check_drift_against=lambda: self._accv,
+                )
+                base_commit = step.commit
+
+                def commit(
+                    t0: float,
+                    t1: float,
+                    _commit=base_commit,
+                    _outcome=outcome,
+                ) -> bool:
+                    drift = _commit(t0, t1)
+                    if _outcome.get("drift", False):
+                        extra = config.num_label_drift - config.num_label
+                        self._cursor = (
+                            "extension" if extra > 0 else "retrain"
+                        )
+                        # The freshly reset buffer invalidates the old
+                        # validation accuracy; wait for the next
+                        # retraining to re-establish it.
+                        self._accv = None
+                    else:
+                        self._cursor = "retrain"
+                    return drift
+
+                step.commit = commit
+                return step
+
+            # Drift escalation: extend labeling from Nl to Nldd.
+            extra = config.num_label_drift - config.num_label
+            self._cursor = "retrain"
+            step, _ = self.do_label(frames, extra, rng)
+            return step
+
+    def scheduler_state(self) -> dict:
+        return {
+            "kind": "dacapo",
+            "cursor": self._cursor,
+            "accv": self._accv,
+        }
+
+    def restore_scheduler_state(self, state: dict) -> None:
+        if state.get("kind") != "dacapo":
+            raise SnapshotError(
+                f"{self.name}: scheduler state kind "
+                f"{state.get('kind')!r} is not 'dacapo'"
             )
-            yield step
-            if outcome.get("drift", False):
-                extra = config.num_label_drift - config.num_label
-                if extra > 0:
-                    extension, _ = self.do_label(frames, extra, rng)
-                    yield extension
-                # The freshly reset buffer invalidates the old validation
-                # accuracy; wait for the next retraining to re-establish it.
-                self._accv = None
+        cursor = state.get("cursor")
+        if cursor not in ("retrain", "label", "extension"):
+            raise SnapshotError(
+                f"{self.name}: unknown scheduler cursor {cursor!r}"
+            )
+        self._cursor = cursor
+        accv = state.get("accv")
+        self._accv = None if accv is None else float(accv)

@@ -40,6 +40,16 @@ class ProtocolError(ExecutionError):
     """A worker spoke an invalid or incompatible shard-protocol message."""
 
 
+class SnapshotError(ReproError):
+    """A run-state snapshot is invalid or incompatible with this run.
+
+    Raised by :mod:`repro.core.snapshot` decode/restore when a snapshot's
+    version, numeric policy, cell identity, or clock does not match the run
+    being resumed.  Callers treat it as "recompute from scratch", never as
+    "proceed with mismatched state".
+    """
+
+
 class ModelSpecError(ReproError):
     """A DNN architectural spec is malformed or unknown."""
 

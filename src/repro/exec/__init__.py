@@ -76,10 +76,13 @@ from repro.exec.shard import (
     SystemCell,
     cell_key,
     cell_label,
+    execute_shard,
     make_shard_specs,
     plan_shards,
     run_cell,
+    run_cell_incremental,
     run_shard_cells,
+    run_spec_cells,
     stream_signature,
     warm_model_caches,
 )
@@ -118,6 +121,7 @@ __all__ = [
     "cell_key",
     "cell_label",
     "execute_cells",
+    "execute_shard",
     "load_plan",
     "make_backend",
     "make_shard_specs",
@@ -126,7 +130,9 @@ __all__ = [
     "queue_worker_main",
     "resolve_backend",
     "run_cell",
+    "run_cell_incremental",
     "run_shard_cells",
+    "run_spec_cells",
     "save_plan",
     "stream_signature",
     "use_backend",

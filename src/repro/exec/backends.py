@@ -57,8 +57,8 @@ from repro.exec.shard import (
     ShardResult,
     ShardSpec,
     cell_label,
-    run_cell,
-    run_shard_cells,
+    execute_shard,
+    run_spec_cells,
 )
 from repro.numeric import use_policy
 
@@ -124,8 +124,9 @@ class SerialBackend:
     """Run shards in this process -- the historical serial code path.
 
     The ambient profiler (if any) records phases directly, so shard
-    results never carry snapshots; exceptions propagate exactly as the
-    serial experiments have always surfaced them.
+    results never carry *profile* snapshots (incremental run snapshots
+    do ride along); exceptions propagate exactly as the serial
+    experiments have always surfaced them.
     """
 
     name = "serial"
@@ -138,26 +139,31 @@ class SerialBackend:
         outcomes = []
         for spec in specs:
             with use_policy(spec.policy):
-                results = tuple(run_cell(cell) for cell in spec.cells)
-            outcomes.append(ShardResult(key=spec.key, results=results))
+                results, run_snapshot = run_spec_cells(spec)
+            outcomes.append(
+                ShardResult(
+                    key=spec.key,
+                    results=tuple(results),
+                    snapshot=run_snapshot,
+                )
+            )
         return outcomes
 
     def close(self) -> None:
         pass
 
 
-def _pool_run_shard(payload: tuple) -> tuple:
+def _pool_run_shard(spec: ShardSpec) -> tuple:
     """Pool-worker entry point (module-level so it pickles)."""
-    key, cells, policy_name, profile = payload
-    faults.on_claim(key)
-    results, snapshot = run_shard_cells(cells, policy_name, profile)
+    faults.on_claim(spec.key)
+    results, profile_snapshot, run_snapshot = execute_shard(spec)
     # Pool replies are in-process Python objects, not encoded bytes, so
     # there are no bytes to garble: a ``corrupt-result`` firing drops the
     # last per-cell result instead, which the parent's length-vs-spec
     # check must reject before anything reaches a journal.
-    if faults.reply_fault(key) is not None:
+    if faults.reply_fault(spec.key) is not None:
         results = results[:-1]
-    return results, snapshot
+    return results, profile_snapshot, run_snapshot
 
 
 class ProcessPoolBackend:
@@ -188,17 +194,13 @@ class ProcessPoolBackend:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         futures = [
-            self._pool.submit(
-                _pool_run_shard,
-                (spec.key, spec.cells, spec.policy, spec.profile),
-            )
-            for spec in specs
+            self._pool.submit(_pool_run_shard, spec) for spec in specs
         ]
         outcomes = []
         broken = False
         for spec, future in zip(specs, futures):
             try:
-                results, snapshot = future.result()
+                results, profile_snapshot, run_snapshot = future.result()
             except BrokenProcessPool as exc:
                 broken = True
                 outcomes.append(
@@ -245,7 +247,8 @@ class ProcessPoolBackend:
                     ShardResult(
                         key=spec.key,
                         results=tuple(results),
-                        profile=snapshot,
+                        profile=profile_snapshot,
+                        snapshot=run_snapshot,
                     )
                 )
         if broken:

@@ -22,8 +22,10 @@ Message kinds (every message carries ``"v": PROTOCOL_VERSION``):
 - ``hello``    worker -> parent, once at startup: ``{pid}``.  The parent
   rejects a version mismatch before dispatching anything.
 - ``shard``    parent -> worker: ``{id, cells, policy, profile,
-  cache_root}``.
-- ``result``   worker -> parent: ``{id, results, profile}``.
+  cache_root}`` plus, for incremental windows only, the additive
+  ``snapshot`` (resume state) and ``emit_snapshot`` fields.
+- ``result``   worker -> parent: ``{id, results, profile}`` plus, when
+  the shard emitted one, ``snapshot``.
 - ``error``    worker -> parent: the shard raised; ``{id, error,
   traceback}``.  The worker stays alive and keeps serving.
 - ``shutdown`` parent -> worker: drain and exit 0.
@@ -44,7 +46,6 @@ round-tripped cell compares equal to one built from Python literals.
 
 from __future__ import annotations
 
-import base64
 import json
 import os
 from pathlib import Path
@@ -54,6 +55,7 @@ import numpy as np
 
 from repro.core.phases import PhaseKind, PhaseRecord
 from repro.core.results import RunResult
+from repro.core.snapshot import decode_array, encode_array
 from repro.errors import ProtocolError
 from repro.exec.shard import Fig2Cell, ShardResult, ShardSpec, SystemCell
 
@@ -93,20 +95,11 @@ class _PayloadEncoder(json.JSONEncoder):
         return super().default(obj)
 
 
-def _encode_array(array: np.ndarray) -> dict:
-    """Base64 raw bytes + dtype + shape: exact and compact."""
-    array = np.ascontiguousarray(array)
-    return {
-        "dtype": str(array.dtype),
-        "shape": list(array.shape),
-        "data": base64.b64encode(array.tobytes()).decode("ascii"),
-    }
-
-
-def _decode_array(payload: dict) -> np.ndarray:
-    return np.frombuffer(
-        base64.b64decode(payload["data"]), dtype=np.dtype(payload["dtype"])
-    ).reshape(payload["shape"])
+# The base64+dtype/shape array codec now lives in repro.core.snapshot
+# (run snapshots reuse it); these aliases keep the protocol module's
+# historical names.
+_encode_array = encode_array
+_decode_array = decode_array
 
 
 def encode_result(result: RunResult) -> dict:
@@ -217,8 +210,14 @@ def decode_cell(payload: dict):
 
 
 def encode_shard_request(spec: ShardSpec) -> dict:
-    """The ``shard`` message dispatching one :class:`ShardSpec`."""
-    return {
+    """The ``shard`` message dispatching one :class:`ShardSpec`.
+
+    The incremental fields (``snapshot``, ``emit_snapshot``) are additive
+    and omitted when unset, so batch shard messages keep their historical
+    byte shape and a version-skewed worker that ignores them still
+    returns a correct (prefix-computed) result.
+    """
+    message = {
         "v": PROTOCOL_VERSION,
         "kind": "shard",
         "id": spec.key,
@@ -227,6 +226,11 @@ def encode_shard_request(spec: ShardSpec) -> dict:
         "profile": bool(spec.profile),
         "cache_root": spec.cache_root,
     }
+    if spec.snapshot is not None:
+        message["snapshot"] = spec.snapshot
+    if spec.emit_snapshot:
+        message["emit_snapshot"] = True
+    return message
 
 
 def decode_shard_spec(message: dict) -> ShardSpec:
@@ -244,20 +248,25 @@ def decode_shard_spec(message: dict) -> ShardSpec:
         policy=str(message.get("policy", "")),
         profile=bool(message.get("profile", False)),
         cache_root=message.get("cache_root"),
+        snapshot=message.get("snapshot"),
+        emit_snapshot=bool(message.get("emit_snapshot", False)),
     )
 
 
 def encode_shard_result(
-    key: str, results, profile: dict | None
+    key: str, results, profile: dict | None, snapshot: dict | None = None
 ) -> dict:
     """The ``result`` message for one completed shard."""
-    return {
+    message = {
         "v": PROTOCOL_VERSION,
         "kind": "result",
         "id": key,
         "results": [encode_result(result) for result in results],
         "profile": profile,
     }
+    if snapshot is not None:
+        message["snapshot"] = snapshot
+    return message
 
 
 def decode_shard_result(message: dict) -> ShardResult:
@@ -268,6 +277,7 @@ def decode_shard_result(message: dict) -> ShardResult:
             decode_result(entry) for entry in message.get("results", ())
         ),
         profile=message.get("profile"),
+        snapshot=message.get("snapshot"),
     )
 
 

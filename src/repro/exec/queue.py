@@ -62,7 +62,7 @@ from repro.exec.shard import (
     ShardFailure,
     ShardSpec,
     cell_label,
-    run_shard_cells,
+    execute_shard,
 )
 
 __all__ = [
@@ -361,11 +361,11 @@ def queue_worker_main(
                         os.environ[CACHE_ENV] = baseline_cache_root
                     else:
                         os.environ.pop(CACHE_ENV, None)
-                    results, snapshot = run_shard_cells(
-                        spec.cells, spec.policy, spec.profile
+                    results, profile_snapshot, run_snapshot = (
+                        execute_shard(spec)
                     )
                     reply = protocol.encode_shard_result(
-                        key, results, snapshot
+                        key, results, profile_snapshot, run_snapshot
                     )
                     reply["worker"] = worker_id
                     mode = faults.reply_fault(key)

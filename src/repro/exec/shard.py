@@ -30,13 +30,20 @@ from typing import Iterable, Sequence
 
 from repro import profiling
 from repro.core.results import RunResult
+from repro.core.snapshot import (
+    decode_run_snapshot,
+    encode_run_snapshot,
+    stream_prefix_aligned,
+)
+from repro.core.system import RunExecution
 from repro.exec import faults
 from repro.core.runner import build_fig2_system, build_system, run_on_scenario
-from repro.errors import ConfigurationError, ExecutionError
+from repro.data.scenarios import build_scenario
+from repro.errors import ConfigurationError, ExecutionError, SnapshotError
 from repro.learn.student import make_student
 from repro.learn.teacher import make_teacher
 from repro.models.zoo import get_pair
-from repro.numeric import use_policy
+from repro.numeric import active_policy, use_policy
 
 __all__ = [
     "FAULT_TOKEN_ENV",
@@ -49,10 +56,13 @@ __all__ = [
     "cell_key",
     "cell_label",
     "consume_fault_token",
+    "execute_shard",
     "make_shard_specs",
     "plan_shards",
     "run_cell",
+    "run_cell_incremental",
     "run_shard_cells",
+    "run_spec_cells",
     "stream_signature",
     "warm_model_caches",
 ]
@@ -130,6 +140,78 @@ def run_cell(cell) -> RunResult:
     return run_on_scenario(
         system, cell.scenario, seed=cell.seed, duration_s=cell.duration_s
     )
+
+
+def _build_cell_system(cell):
+    if isinstance(cell, SystemCell):
+        return build_system(cell.system, cell.pair, seed=cell.seed)
+    if isinstance(cell, Fig2Cell):
+        return build_fig2_system(cell.kind, cell.platform, cell.pair)
+    raise ConfigurationError(f"unknown grid cell type {type(cell)!r}")
+
+
+def run_cell_incremental(
+    cell, snapshot: dict | None = None, emit_snapshot: bool = False
+) -> tuple[RunResult, dict | None]:
+    """Execute one cell, optionally resuming from / emitting a snapshot.
+
+    The incremental-window primitive: with a compatible ``snapshot``
+    (window ``i``'s encoded safe point), only the stream-seconds past the
+    snapshot's clock are simulated; the result is bit-identical to
+    :func:`run_cell` over the full prefix.  An *incompatible* snapshot --
+    wrong version, policy, cell identity, or an origin not aligned to the
+    stream's segment grid -- falls back to a full prefix run: slower,
+    never wrong.
+
+    With ``emit_snapshot``, the run's final safe point is returned encoded
+    (None when the cell's duration is not segment-aligned, since such a
+    prefix is not reproducible in a longer stream).
+    """
+    system = _build_cell_system(cell)
+    if cell.duration_s is None:
+        stream = build_scenario(cell.scenario)
+    else:
+        stream = build_scenario(cell.scenario, duration_s=cell.duration_s)
+    policy = active_policy().name
+    emit = emit_snapshot and stream_prefix_aligned(stream.duration_s)
+
+    checkpoint = None
+    if snapshot is not None:
+        try:
+            checkpoint = decode_run_snapshot(
+                snapshot,
+                policy=policy,
+                system=system.name,
+                scenario=stream.name,
+                seed=cell.seed,
+                duration_s=stream.duration_s,
+            )
+        except SnapshotError:
+            checkpoint = None
+    try:
+        execution = RunExecution(
+            system, stream, cell.seed, checkpoint=checkpoint, capture=emit
+        )
+    except SnapshotError:
+        # A restore that fails partway may have touched the system's
+        # weights/buffer; rebuild it fresh for the prefix fallback.
+        system = _build_cell_system(cell)
+        execution = RunExecution(system, stream, cell.seed, capture=emit)
+    execution.run_to_end()
+    result = execution.result()
+
+    payload = None
+    final = execution.checkpoint()
+    if emit and final is not None:
+        payload = encode_run_snapshot(
+            final,
+            policy=policy,
+            system=system.name,
+            scenario=stream.name,
+            seed=cell.seed,
+            origin_duration_s=stream.duration_s,
+        )
+    return result, payload
 
 
 def cell_label(cell) -> str:
@@ -237,6 +319,11 @@ class ShardSpec:
             the snapshot back for the parent to merge.
         cache_root: Artifact-cache root the worker should use, or None
             to let it fall back to its own default (remote hosts).
+        snapshot: Encoded run-state snapshot to resume the cell from
+            (incremental windows; requires a single-cell shard).  An
+            incompatible snapshot degrades to a full prefix run.
+        emit_snapshot: Ship the run's final safe point back on the
+            result (incremental windows; requires a single-cell shard).
     """
 
     key: str
@@ -245,15 +332,18 @@ class ShardSpec:
     policy: str
     profile: bool = False
     cache_root: str | None = None
+    snapshot: dict | None = None
+    emit_snapshot: bool = False
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """A completed shard: per-cell results plus the worker's profile."""
+    """A completed shard: per-cell results, profile, and run snapshot."""
 
     key: str
     results: tuple
     profile: dict | None = None
+    snapshot: dict | None = None
 
 
 class ShardFailure(ExecutionError):
@@ -401,5 +491,47 @@ def run_shard_cells(
         try:
             results = [run_cell(cell) for cell in cells]
             return results, profiler.snapshot()
+        finally:
+            profiling.disable()
+
+
+def run_spec_cells(spec: ShardSpec) -> tuple[list[RunResult], dict | None]:
+    """Execute a spec's cells under the ambient policy/profiler.
+
+    Returns ``(results, run_snapshot)``.  Incremental specs (a resume
+    snapshot and/or ``emit_snapshot``) must carry exactly one cell -- a
+    snapshot names one run's state, and the service dispatches one window
+    per shard by construction.
+    """
+    if spec.snapshot is not None or spec.emit_snapshot:
+        if len(spec.cells) != 1:
+            raise ConfigurationError(
+                f"incremental shard {spec.key} carries {len(spec.cells)} "
+                f"cells; snapshots resume exactly one"
+            )
+        result, snapshot = run_cell_incremental(
+            spec.cells[0], spec.snapshot, spec.emit_snapshot
+        )
+        return [result], snapshot
+    return [run_cell(cell) for cell in spec.cells], None
+
+
+def execute_shard(
+    spec: ShardSpec,
+) -> tuple[list[RunResult], dict | None, dict | None]:
+    """The worker-side entry point for one spec, on any transport.
+
+    Installs the spec's numeric policy, runs its cells (honouring the
+    incremental snapshot fields), and profiles when asked.  Returns
+    ``(results, profile_snapshot, run_snapshot)``.
+    """
+    with use_policy(spec.policy):
+        if not spec.profile:
+            results, run_snapshot = run_spec_cells(spec)
+            return results, None, run_snapshot
+        profiler = profiling.enable()
+        try:
+            results, run_snapshot = run_spec_cells(spec)
+            return results, profiler.snapshot(), run_snapshot
         finally:
             profiling.disable()

@@ -30,7 +30,7 @@ import traceback
 from repro.cache import CACHE_ENV
 from repro.errors import ConfigurationError, ProtocolError
 from repro.exec import faults, protocol
-from repro.exec.shard import run_shard_cells
+from repro.exec.shard import execute_shard
 
 __all__ = ["GracefulShutdown", "install_graceful_shutdown", "worker_main"]
 
@@ -159,8 +159,8 @@ def worker_main(argv: list[str] | None = None) -> int:
                     os.environ[CACHE_ENV] = baseline_cache_root
                 else:
                     os.environ.pop(CACHE_ENV, None)
-                results, snapshot = run_shard_cells(
-                    spec.cells, spec.policy, spec.profile
+                results, profile_snapshot, run_snapshot = execute_shard(
+                    spec
                 )
             except Exception as exc:
                 send_error(
@@ -170,7 +170,7 @@ def worker_main(argv: list[str] | None = None) -> int:
                 )
                 continue
             reply = protocol.encode_shard_result(
-                spec.key, results, snapshot
+                spec.key, results, profile_snapshot, run_snapshot
             )
             mode = faults.reply_fault(spec.key)
             if mode is not None:

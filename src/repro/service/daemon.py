@@ -18,9 +18,24 @@ pure deterministic function of the cell -- no weight snapshots cross
 process boundaries, any worker can compute any window, a retried window
 is bit-identical, and the final window's result *is* the batch sweep's
 full-cell result.  The cost is recompute (window ``i`` re-simulates
-``[0, end_i)``), which buys the property everything else here stands on:
+``[0, end_i)``, so serving a W-window stream costs O(W^2) total stream
+seconds), which buys the property everything else here stands on:
 SIGKILL the daemon anywhere and every completed window's journaled
 record is byte-identical to an uninterrupted run's.
+
+**Incremental windows.**  The default ``window_mode="incremental"``
+keeps the prefix run's *results* while dropping its recompute: window
+``i``'s shard carries the run-state snapshot emitted by window ``i-1``
+(:mod:`repro.core.snapshot` -- weights, buffer, RNG, clock, committed
+records) and resumes from it, executing only its own ``window_s`` of
+stream -- O(W) total.  Snapshots are journaled *before* their window
+record, so a crash anywhere restarts from the last journaled snapshot
+and recomputes at most one window.  The contract is bit-identity, never
+best-effort: a snapshot that fails validation (version bump, policy or
+seed mismatch, unaligned stream prefix) is discarded and the window
+falls back to a full prefix run -- identical output, just slower.
+``window_mode="prefix"`` (or ``REPRO_WINDOW_MODE=prefix``) disables
+snapshots entirely and restores the pure stateless dispatch.
 
 **Threads.**  The supervisor loop owns all state and runs in the calling
 thread.  A dispatcher thread feeds batches of window shards through the
@@ -58,6 +73,7 @@ import numpy as np
 
 from repro.cache import CACHE_ENV
 from repro.core.runner import FIG2_KINDS, GPU_PLATFORMS, SYSTEM_BUILDERS
+from repro.core.snapshot import stream_prefix_aligned
 from repro.data.scenarios import SCENARIO_NAMES, build_scenario
 from repro.errors import ConfigurationError, ProtocolError
 from repro.exec import protocol
@@ -83,7 +99,18 @@ from repro.service.session import (
     session_path,
 )
 
-__all__ = ["FleetService", "ServiceConfig", "StreamState"]
+__all__ = [
+    "FleetService",
+    "ServiceConfig",
+    "StreamState",
+    "WINDOW_MODE_ENV",
+    "WINDOW_MODES",
+]
+
+WINDOW_MODE_ENV = "REPRO_WINDOW_MODE"
+"""Environment default for :attr:`ServiceConfig.window_mode`."""
+
+WINDOW_MODES = ("incremental", "prefix")
 
 
 @dataclass
@@ -114,6 +141,11 @@ class ServiceConfig:
             unfinished across all streams (None = ``2 * workers``):
             admitting a thousand streams must queue windows, not
             swamp the dispatch layer.
+        window_mode: ``"incremental"`` (resume each window from its
+            predecessor's run-state snapshot; O(window) per window) or
+            ``"prefix"`` (stateless full-prefix recompute).  ``None``
+            reads ``$REPRO_WINDOW_MODE``, defaulting to incremental.
+            Both modes journal byte-identical window records.
     """
 
     out_dir: str | Path
@@ -128,11 +160,21 @@ class ServiceConfig:
     max_attempts: int = 3
     backoff_base_s: float = 0.05
     max_inflight: int | None = None
+    window_mode: str | None = None
 
     def __post_init__(self) -> None:
         if self.window_s <= 0:
             raise ConfigurationError(
                 f"window_s must be positive, got {self.window_s!r}"
+            )
+        if self.window_mode is None:
+            self.window_mode = (
+                os.environ.get(WINDOW_MODE_ENV, "").strip() or "incremental"
+            )
+        if self.window_mode not in WINDOW_MODES:
+            raise ConfigurationError(
+                f"window_mode must be one of {', '.join(WINDOW_MODES)}; "
+                f"got {self.window_mode!r}"
             )
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
@@ -156,6 +198,9 @@ class StreamState:
             processed (paced mode's miss-detection cursor).
         last_fresh_accuracy: Accuracy of the newest fresh window (what a
             stale-served window reports).
+        snapshot: Newest run-state snapshot for the stream (from the
+            last fresh window, or replayed from the journal on resume);
+            None until one exists or in prefix mode.
     """
 
     log: StreamLog
@@ -165,6 +210,7 @@ class StreamState:
     inflight: int | None = None
     arrivals_seen: int = -1
     last_fresh_accuracy: float | None = None
+    snapshot: dict | None = None
 
 
 class FleetService:
@@ -275,6 +321,7 @@ class FleetService:
                 "policy": self.policy,
                 "speedup": config.speedup,
                 "window_s": config.window_s,
+                "window_mode": config.window_mode,
             },
         )
         for log in self.journal.active_streams():
@@ -476,6 +523,7 @@ class FleetService:
             ladder=DegradationLadder(log.key, enabled=self.config.degrade),
             fps=float(build_scenario(log.cell.scenario).fps),
             arrivals_seen=max(log.windows, default=-1),
+            snapshot=log.snapshot,
         )
         for index in sorted(log.windows):
             record = log.windows[index]
@@ -541,8 +589,28 @@ class FleetService:
 
     def _window_spec(self, state: StreamState, index: int) -> ShardSpec:
         _, end = state.pacer.span(index)
-        cell = replace(state.log.cell, duration_s=float(end))
+        end = float(end)
+        cell = replace(state.log.cell, duration_s=end)
         cells = (cell,)
+        snapshot = None
+        emit = False
+        if self.config.window_mode == "incremental":
+            snap = state.snapshot
+            # Only resume a snapshot whose origin lies inside this
+            # window's prefix; anything newer (or malformed -- the
+            # worker re-validates) means a plain prefix run.
+            if (
+                snap is not None
+                and float(snap.get("origin_duration_s", 0.0)) <= end
+            ):
+                snapshot = snap
+            # The last window's snapshot would never be consumed, and an
+            # unaligned boundary cannot be resumed bit-exactly (stream
+            # segments re-seed every SEGMENT_S); skip the emit cost.
+            emit = (
+                index + 1 < state.log.total_windows
+                and stream_prefix_aligned(end)
+            )
         return ShardSpec(
             key=shard_key(self.policy, cells),
             cells=cells,
@@ -550,6 +618,8 @@ class FleetService:
             policy=self.policy,
             profile=False,
             cache_root=os.environ.get(CACHE_ENV),
+            snapshot=snapshot,
+            emit_snapshot=emit,
         )
 
     def _window_frames(self, state: StreamState, index: int) -> int:
@@ -583,6 +653,13 @@ class FleetService:
         times = np.asarray(result.times)
         frames = int(np.count_nonzero((times >= start) & (times < end)))
         accuracy = float(result.average_accuracy())
+        if outcome.snapshot is not None:
+            # Journal the snapshot *before* the window record: a crash
+            # between the two restarts from this snapshot and recomputes
+            # the window; the reverse order could journal a window whose
+            # successor has no snapshot to resume from.
+            state.snapshot = outcome.snapshot
+            self.journal.record_snapshot(log.key, w, outcome.snapshot)
         self.journal.record_window(
             log.key,
             w,
@@ -720,6 +797,7 @@ class FleetService:
         snapshot = {
             "policy": self.policy,
             "window_s": self.config.window_s,
+            "window_mode": self.config.window_mode,
             "speedup": self.config.speedup,
             "eager": self.clock.eager,
             "backend": backend_info,

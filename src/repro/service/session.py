@@ -22,14 +22,21 @@ state, never in the journal.
 
 Record kinds (one JSON line each, after the header):
 
-- ``admit``   ``{stream, cell, policy, duration_s, window_s, windows}``
-- ``window``  ``{stream, index, mode, digest, accuracy, frames, dropped
+- ``admit``    ``{stream, cell, policy, duration_s, window_s, windows}``
+- ``window``   ``{stream, index, mode, digest, accuracy, frames, dropped
   [, result]}`` -- ``mode`` is ``fresh`` (computed; carries the encoded
   result), ``stale`` (served by the stale student; carries the accuracy
   it served), or ``shed`` (frames dropped; carries the drop count).
-- ``degrade`` one ladder :class:`~repro.service.degrade.Transition`.
-- ``retire``  ``{stream, reason}``.
-- ``event``   ``{name, detail}`` -- operational punctuation.
+- ``snapshot`` ``{stream, index, state}`` -- the stream's newest
+  run-state snapshot (incremental windows resume from it).  Journaled
+  *before* the window record it belongs to, so a kill between the two
+  leaves a snapshot the restart can still use.  Only the latest per
+  stream is live; superseded snapshot records are pruned when their
+  stale bytes pass the compaction threshold (the journal is rewritten
+  atomically, all other records byte-preserved in order).
+- ``degrade``  one ladder :class:`~repro.service.degrade.Transition`.
+- ``retire``   ``{stream, reason}``.
+- ``event``    ``{name, detail}`` -- operational punctuation.
 
 The ``daemon-kill`` fault (:mod:`repro.exec.faults`) injects its
 ``os._exit`` *after* a window record is fully fsynced -- the hardest
@@ -53,6 +60,7 @@ from repro.service.pacing import window_count
 
 __all__ = [
     "SESSION_VERSION",
+    "SNAPSHOT_COMPACT_BYTES",
     "SessionJournal",
     "StreamLog",
     "session_fingerprint",
@@ -64,6 +72,10 @@ SESSION_VERSION = 1
 
 #: The window-record modes (documentation order = degradation order).
 WINDOW_MODES = ("fresh", "stale", "shed")
+
+#: Compaction threshold: once this many bytes of *superseded* snapshot
+#: records have accumulated, the journal is rewritten without them.
+SNAPSHOT_COMPACT_BYTES = 1 << 20
 
 
 def session_path(out_dir: str | Path) -> Path:
@@ -102,6 +114,9 @@ class StreamLog:
         dropped_frames: Total frames shed across the stream's life.
         retired: Whether a retire record closed the stream.
         retire_reason: The retire record's reason, when retired.
+        snapshot: The stream's newest journaled run-state snapshot
+            payload (None until one is recorded).
+        snapshot_index: The window index that snapshot belongs to.
     """
 
     key: str
@@ -114,6 +129,8 @@ class StreamLog:
     dropped_frames: int = 0
     retired: bool = False
     retire_reason: str | None = None
+    snapshot: dict | None = None
+    snapshot_index: int = -1
 
     @property
     def total_windows(self) -> int:
@@ -147,13 +164,26 @@ class SessionJournal:
     """
 
     def __init__(
-        self, path: str | Path, fingerprint: str, *, resume: bool = False
+        self,
+        path: str | Path,
+        fingerprint: str,
+        *,
+        resume: bool = False,
+        compact_bytes: int | None = None,
     ) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
         self.streams: dict[str, StreamLog] = {}
         self.events: list[dict] = []
         self.resumed = False
+        self.compact_bytes = (
+            SNAPSHOT_COMPACT_BYTES if compact_bytes is None else compact_bytes
+        )
+        # Every parseable non-header record in journal order, plus the
+        # byte bookkeeping that triggers snapshot compaction.
+        self._records: list[dict] = []
+        self._snapshot_bytes: dict[str, int] = {}
+        self._stale_snapshot_bytes = 0
         if resume and self.path.exists():
             self._load()
             self.resumed = True
@@ -218,7 +248,20 @@ class SessionJournal:
                 # The torn trailing line a SIGKILL leaves: whatever it
                 # described simply did not happen.
                 continue
+            self._records.append(record)
             self._replay(record)
+
+    def _note_snapshot(self, record: dict) -> None:
+        """Track live/stale snapshot bytes for the compaction trigger.
+
+        Sizes are recomputed from a compact re-dump -- byte-identical to
+        what :meth:`_append` wrote, since ``json`` round-trips key order,
+        ints, and float reprs exactly.
+        """
+        size = len(json.dumps(record, separators=(",", ":"))) + 1
+        key = record.get("stream", "")
+        self._stale_snapshot_bytes += self._snapshot_bytes.get(key, 0)
+        self._snapshot_bytes[key] = size
 
     def _replay(self, record: dict) -> None:
         kind = record.get("kind")
@@ -236,6 +279,12 @@ class SessionJournal:
         if kind == "window" and stream is not None:
             stream.windows[int(record["index"])] = record
             stream.dropped_frames += int(record.get("dropped", 0))
+            return
+        if kind == "snapshot" and stream is not None:
+            # Journal order is supersession order: the last one wins.
+            stream.snapshot = record.get("state")
+            stream.snapshot_index = int(record.get("index", -1))
+            self._note_snapshot(record)
             return
         if kind == "degrade" and stream is not None:
             stream.transitions.append(record)
@@ -257,6 +306,44 @@ class SessionJournal:
             handle.flush()
             os.fsync(handle.fileno())
         _fsync_dir(self.path.parent)
+        self._records.append(record)
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal without superseded snapshots.
+
+        Every non-snapshot record (and each stream's newest snapshot) is
+        re-emitted byte-identically in journal order via the same
+        tmp+fsync+rename dance the header uses, so a kill mid-compaction
+        leaves either the old journal or the new one, never a mix.
+        """
+        last_snapshot: dict[str, int] = {}
+        for position, record in enumerate(self._records):
+            if record.get("kind") == "snapshot":
+                last_snapshot[record.get("stream", "")] = position
+        keep = [
+            record
+            for position, record in enumerate(self._records)
+            if record.get("kind") != "snapshot"
+            or last_snapshot.get(record.get("stream", "")) == position
+        ]
+        header = {
+            "kind": "header",
+            "version": SESSION_VERSION,
+            "fingerprint": self.fingerprint,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for record in keep:
+                handle.write(
+                    json.dumps(record, separators=(",", ":")) + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        _fsync_dir(self.path.parent)
+        self._records = keep
+        self._stale_snapshot_bytes = 0
 
     def record_admit(
         self, key: str, cell, policy: str, duration_s: float, window_s: float
@@ -340,6 +427,35 @@ class SessionJournal:
             stream.dropped_frames += int(dropped)
         faults.daemon_fault(f"{key}|w{index}")
         return record
+
+    def record_snapshot(self, key: str, index: int, state: dict) -> None:
+        """Journal a stream's newest run-state snapshot.
+
+        Callers journal the snapshot *before* the window record it
+        belongs to: a kill between the two then leaves window ``i``'s
+        snapshot without its record, and the restart recomputes window
+        ``i`` from that snapshot's predecessor -- correct either way, and
+        never a window record whose snapshot was lost.
+
+        Superseded snapshots stay in the file only until their stale
+        bytes pass ``compact_bytes``; then the journal is rewritten
+        without them (see :meth:`_compact`), so long-lived sessions don't
+        grow linearly in snapshot payloads.
+        """
+        record = {
+            "kind": "snapshot",
+            "stream": key,
+            "index": int(index),
+            "state": state,
+        }
+        self._append(record)
+        stream = self.streams.get(key)
+        if stream is not None:
+            stream.snapshot = state
+            stream.snapshot_index = int(index)
+        self._note_snapshot(record)
+        if self._stale_snapshot_bytes > self.compact_bytes:
+            self._compact()
 
     def record_degrade(self, transition: Transition) -> None:
         """Journal one degradation-ladder transition."""

@@ -1,0 +1,246 @@
+"""Run-state snapshots: bit-identical incremental execution.
+
+The contract under test: chaining ``run_cell_incremental`` window by
+window -- each window resuming the previous window's encoded snapshot --
+produces results byte-identical to full prefix runs, across every
+scheduler family; and any snapshot a run must *not* resume from (wrong
+version, policy, cell, seed, or an unaligned origin) is refused with
+:class:`SnapshotError` so callers fall back to the prefix run.
+"""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import SampleBuffer
+from repro.core.snapshot import (
+    SNAPSHOT_VERSION,
+    decode_array,
+    decode_run_snapshot,
+    encode_array,
+    encode_run_snapshot,
+    stream_prefix_aligned,
+)
+from repro.data.scenarios import SEGMENT_S
+from repro.errors import ScheduleError, SnapshotError
+from repro.exec.shard import Fig2Cell, SystemCell, run_cell, run_cell_incremental
+from repro.numeric import active_policy
+from repro.reference import run_digest
+
+PAIR = "resnet18_wrn50"
+
+
+def chain_windows(cell, window_s):
+    """Run ``cell`` window by window, resuming each from the last snapshot."""
+    total = cell.duration_s
+    results = []
+    snapshot = None
+    end = window_s
+    while end <= total + 1e-9:
+        result, snapshot = run_cell_incremental(
+            replace(cell, duration_s=float(end)),
+            snapshot=snapshot,
+            emit_snapshot=True,
+        )
+        results.append(result)
+        end += window_s
+    return results
+
+
+class TestRngConcatenation:
+    def test_split_draws_match_one_draw(self):
+        # The property idle-resume leans on: PCG64 draws concatenate.
+        a = np.random.default_rng(7)
+        b = np.random.default_rng(7)
+        whole = a.random(100)
+        parts = np.concatenate([b.random(60), b.random(40)])
+        np.testing.assert_array_equal(whole, parts)
+
+    def test_state_roundtrips_through_json(self):
+        rng = np.random.default_rng(3)
+        rng.random(17)
+        state = json.loads(json.dumps(rng.bit_generator.state))
+        clone = np.random.default_rng(0)
+        clone.bit_generator.state = state
+        np.testing.assert_array_equal(rng.random(8), clone.random(8))
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(12, dtype=np.float64).reshape(3, 4),
+            np.zeros((0, 5), dtype=np.float32),
+            np.array([True, False, True]),
+            np.arange(6, dtype=np.int64),
+        ],
+    )
+    def test_roundtrip_exact(self, array):
+        payload = json.loads(json.dumps(encode_array(array)))
+        out = decode_array(payload)
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        np.testing.assert_array_equal(out, array)
+
+
+class TestBufferSnapshot:
+    def test_roundtrip_and_isolation(self):
+        rng = np.random.default_rng(0)
+        buffer = SampleBuffer(capacity=8, feature_dim=4)
+        buffer.add(rng.standard_normal((5, 4)), np.arange(5) % 3)
+        features, labels = buffer.snapshot()
+        other = SampleBuffer(capacity=8, feature_dim=4)
+        other.restore(features, labels)
+        assert len(other) == len(buffer)
+        # The snapshot is a copy: mutating it must not reach the buffer.
+        features[:] = 0.0
+        restored, _ = other.snapshot()
+        assert not np.allclose(restored, 0.0)
+
+    def test_restore_rejects_wrong_shape(self):
+        buffer = SampleBuffer(capacity=8, feature_dim=4)
+        with pytest.raises(ScheduleError):
+            buffer.restore(np.zeros((2, 3)), np.zeros(2, dtype=np.int64))
+
+
+class TestAlignment:
+    def test_segment_boundaries_are_aligned(self):
+        assert stream_prefix_aligned(SEGMENT_S)
+        assert stream_prefix_aligned(4 * SEGMENT_S)
+
+    def test_everything_else_is_not(self):
+        assert not stream_prefix_aligned(0.0)
+        assert not stream_prefix_aligned(-SEGMENT_S)
+        assert not stream_prefix_aligned(SEGMENT_S / 2)
+        assert not stream_prefix_aligned(SEGMENT_S + 1.0)
+
+
+class TestDecodeRejections:
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        cell = SystemCell("DaCapo-Ekya", PAIR, "S1", 0, 60.0)
+        _, snapshot = run_cell_incremental(cell, emit_snapshot=True)
+        assert snapshot is not None
+        return snapshot
+
+    def kwargs(self, **overrides):
+        base = dict(
+            policy=active_policy().name,
+            system="DaCapo-Ekya",
+            scenario="S1",
+            seed=0,
+            duration_s=120.0,
+        )
+        base.update(overrides)
+        return base
+
+    def test_accepts_the_matching_run(self, snapshot):
+        checkpoint = decode_run_snapshot(snapshot, **self.kwargs())
+        # The safe point is wherever the last untruncated phase ended --
+        # anywhere inside the origin run, never past it.
+        assert 0.0 <= checkpoint.clock <= 60.0
+        assert len(checkpoint.correct) == len(checkpoint.dropped)
+
+    def test_json_roundtrip_still_accepted(self, snapshot):
+        payload = json.loads(json.dumps(snapshot))
+        decode_run_snapshot(payload, **self.kwargs())
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("system", "DaCapo-Spatiotemporal"),
+            ("scenario", "S4"),
+            ("policy", "no-such-policy"),
+            ("seed", 1),
+        ],
+    )
+    def test_identity_mismatch_raises(self, snapshot, field, value):
+        with pytest.raises(SnapshotError):
+            decode_run_snapshot(snapshot, **self.kwargs(**{field: value}))
+
+    def test_version_bump_forces_recompute(self, snapshot):
+        stale = dict(snapshot, v=SNAPSHOT_VERSION + 1)
+        with pytest.raises(SnapshotError):
+            decode_run_snapshot(stale, **self.kwargs())
+
+    def test_unaligned_origin_refused(self, snapshot):
+        skewed = dict(snapshot, origin_duration_s=45.0)
+        with pytest.raises(SnapshotError):
+            decode_run_snapshot(skewed, **self.kwargs())
+
+    def test_clock_past_target_refused(self, snapshot):
+        ahead = dict(snapshot, clock=60.0)
+        with pytest.raises(SnapshotError):
+            decode_run_snapshot(ahead, **self.kwargs(duration_s=30.0))
+
+    def test_malformed_payload_raises_snapshot_error(self, snapshot):
+        broken = dict(snapshot)
+        del broken["rng"]
+        with pytest.raises(SnapshotError, match="malformed"):
+            decode_run_snapshot(broken, **self.kwargs())
+
+
+@pytest.mark.parametrize(
+    "cell",
+    [
+        SystemCell("DaCapo-Spatiotemporal", PAIR, "S4", 0, 240.0),
+        SystemCell("DaCapo-Ekya", PAIR, "S1", 0, 240.0),
+        SystemCell("OrinHigh-EOMU", PAIR, "S4", 0, 240.0),
+        SystemCell("OrinLow-Ekya", PAIR, "S1", 0, 240.0),
+        Fig2Cell("student", "OrinHigh", PAIR, "S4", 0, 240.0),
+        Fig2Cell("ekya", "OrinHigh", PAIR, "S4", 0, 240.0),
+    ],
+    ids=lambda cell: getattr(cell, "system", None) or f"fig2-{cell.kind}",
+)
+class TestIncrementalBitIdentity:
+    def test_windows_match_prefix_runs(self, cell):
+        # Every scheduler family: each resumed window's digest equals the
+        # stateless prefix run's at the same duration.
+        chained = chain_windows(cell, window_s=60.0)
+        assert len(chained) == 4
+        for i, result in enumerate(chained):
+            prefix = run_cell(replace(cell, duration_s=60.0 * (i + 1)))
+            assert run_digest(result) == run_digest(prefix), f"window {i}"
+
+
+class TestIncrementalFallbacks:
+    def test_unaligned_duration_emits_no_snapshot(self):
+        cell = SystemCell("DaCapo-Ekya", PAIR, "S1", 0, 90.0)
+        result, snapshot = run_cell_incremental(cell, emit_snapshot=True)
+        assert snapshot is None
+        assert run_digest(result) == run_digest(run_cell(cell))
+
+    def test_bad_snapshot_falls_back_to_prefix(self):
+        cell = SystemCell("DaCapo-Ekya", PAIR, "S1", 0, 60.0)
+        _, snapshot = run_cell_incremental(cell, emit_snapshot=True)
+        longer = replace(cell, duration_s=120.0)
+        stale = dict(snapshot, v=SNAPSHOT_VERSION + 1)
+        result, _ = run_cell_incremental(longer, snapshot=stale)
+        assert run_digest(result) == run_digest(run_cell(longer))
+
+    def test_corrupt_weights_fall_back_to_prefix(self):
+        # Decode succeeds but restore blows up mid-way: the run must be
+        # rebuilt fresh, not resumed from half-restored state.
+        cell = SystemCell("DaCapo-Ekya", PAIR, "S1", 0, 60.0)
+        _, snapshot = run_cell_incremental(cell, emit_snapshot=True)
+        longer = replace(cell, duration_s=120.0)
+        corrupt = json.loads(json.dumps(snapshot))
+        corrupt["correct"] = encode_array(np.zeros(3, dtype=bool))
+        result, _ = run_cell_incremental(longer, snapshot=corrupt)
+        assert run_digest(result) == run_digest(run_cell(longer))
+
+
+class TestEncodeIdentity:
+    def test_payload_names_its_run(self):
+        cell = SystemCell("DaCapo-Ekya", PAIR, "S1", 3, 60.0)
+        _, snapshot = run_cell_incremental(cell, emit_snapshot=True)
+        assert snapshot["v"] == SNAPSHOT_VERSION
+        assert snapshot["system"] == "DaCapo-Ekya"
+        assert snapshot["scenario"] == "S1"
+        assert snapshot["seed"] == 3
+        assert snapshot["policy"] == active_policy().name
+        assert snapshot["origin_duration_s"] == 60.0
+        # JSON-safe end to end: the service journals this payload as-is.
+        json.dumps(snapshot)

@@ -1,6 +1,7 @@
 """Tests for the JSON-lines shard protocol (exactness and robustness)."""
 
 import json
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -140,6 +141,40 @@ class TestShardMessages:
     def test_messages_are_single_lines(self):
         request = protocol.encode_shard_request(self.spec())
         assert "\n" not in protocol.encode_message(request)
+
+    def test_snapshot_fields_round_trip(self):
+        snap = {"v": 1, "origin_duration_s": 60.0, "clock": 42.5}
+        spec = replace(self.spec(), snapshot=snap, emit_snapshot=True)
+        request = protocol.encode_shard_request(spec)
+        decoded = protocol.decode_shard_spec(
+            protocol.decode_message(protocol.encode_message(request))
+        )
+        assert decoded.snapshot == snap
+        assert decoded.emit_snapshot is True
+
+        result = synthetic_result()
+        message = protocol.encode_shard_result(
+            "abc123", [result], None, snap
+        )
+        back = protocol.decode_shard_result(
+            protocol.decode_message(protocol.encode_message(message))
+        )
+        assert back.snapshot == snap
+
+    def test_snapshot_fields_absent_by_default(self):
+        # Batch shards keep their historical byte shape: no snapshot keys
+        # unless the spec carries them.
+        request = protocol.encode_shard_request(self.spec())
+        assert "snapshot" not in request
+        assert "emit_snapshot" not in request
+        decoded = protocol.decode_shard_spec(
+            protocol.decode_message(protocol.encode_message(request))
+        )
+        assert decoded.snapshot is None
+        assert decoded.emit_snapshot is False
+        message = protocol.encode_shard_result("abc123", [], None)
+        assert "snapshot" not in message
+        assert protocol.decode_shard_result(message).snapshot is None
 
     def test_numpy_scalars_in_profile_snapshots(self):
         message = {

@@ -41,8 +41,24 @@ config = ServiceConfig(out_dir=sys.argv[1], window_s=10.0, backend=sys.argv[2])
 sys.exit(FleetService(config, cells).run())
 """
 
+# Same serve with segment-aligned windows (60 s on 180 s streams): the
+# shape where incremental mode actually carries snapshots across windows
+# -- and must still recover from a SIGKILL bit-identically.
+CHILD_ALIGNED = """
+import sys
+from repro.exec.shard import SystemCell
+from repro.service import FleetService, ServiceConfig
 
-def serve_child(out, backend="serial", extra_env=None):
+cells = [
+    SystemCell("DaCapo-Ekya", "resnet18_wrn50", "S1", 0, 180.0),
+    SystemCell("DaCapo-Ekya", "resnet18_wrn50", "S4", 0, 180.0),
+]
+config = ServiceConfig(out_dir=sys.argv[1], window_s=60.0, backend=sys.argv[2])
+sys.exit(FleetService(config, cells).run())
+"""
+
+
+def serve_child(out, backend="serial", extra_env=None, script=CHILD):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
     if extra_env:
@@ -55,7 +71,7 @@ def serve_child(out, backend="serial", extra_env=None):
     err_path = out.with_name(out.name + ".stderr")
     with err_path.open("ab") as err:
         proc = subprocess.run(
-            [sys.executable, "-c", CHILD, str(out), backend],
+            [sys.executable, "-c", script, str(out), backend],
             env=env,
             stdout=err,
             stderr=err,
@@ -75,10 +91,15 @@ def window_records(out):
 
 
 class TestEagerSession:
-    def test_session_matches_frozen_window_digests(self, tmp_path):
+    @pytest.mark.parametrize("window_mode", ["incremental", "prefix"])
+    def test_session_matches_frozen_window_digests(
+        self, tmp_path, window_mode
+    ):
         frozen = json.loads(service_reference_path().read_text())
         config = ServiceConfig(
-            out_dir=tmp_path, window_s=SERVICE_REFERENCE_WINDOW_S
+            out_dir=tmp_path,
+            window_s=SERVICE_REFERENCE_WINDOW_S,
+            window_mode=window_mode,
         )
         assert FleetService(config, service_reference_cells()).run() == 0
         records = window_records(tmp_path)
@@ -89,12 +110,84 @@ class TestEagerSession:
         state = json.loads((tmp_path / "state.json").read_text())
         assert all(s["retired"] for s in state["streams"].values())
         assert state["inflight"] == 0
+        assert state["window_mode"] == window_mode
 
     def test_admit_is_idempotent_and_duration_resolves(self, tmp_path):
         config = ServiceConfig(out_dir=tmp_path, window_s=10.0)
         service = FleetService(config, [CELLS[0], CELLS[0]])
         assert service.run() == 0
         assert len(service.streams) == 1
+
+    def test_rejects_unknown_window_mode(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="window_mode"):
+            ServiceConfig(out_dir=tmp_path, window_mode="both")
+
+
+class TestIncrementalWindows:
+    ALIGNED = [
+        SystemCell("DaCapo-Ekya", "resnet18_wrn50", "S1", 0, 180.0),
+        SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", 0, 180.0),
+    ]
+
+    @pytest.mark.parametrize("backend", ["serial", "queue:2"])
+    def test_modes_journal_identical_window_records(self, tmp_path, backend):
+        records = {}
+        for mode in ("incremental", "prefix"):
+            out = tmp_path / mode
+            config = ServiceConfig(
+                out_dir=out, window_s=60.0, backend=backend, window_mode=mode
+            )
+            assert FleetService(config, self.ALIGNED).run() == 0
+            records[mode] = window_records(out)
+
+        assert sorted(records["incremental"]) == sorted(records["prefix"])
+        for key in records["prefix"]:
+            assert json.dumps(records["incremental"][key], sort_keys=True) == (
+                json.dumps(records["prefix"][key], sort_keys=True)
+            ), key
+
+    def test_snapshots_journaled_incremental_only(self, tmp_path):
+        for mode, expected in (("incremental", True), ("prefix", False)):
+            out = tmp_path / mode
+            config = ServiceConfig(out_dir=out, window_s=60.0,
+                                   window_mode=mode)
+            assert FleetService(config, self.ALIGNED[:1]).run() == 0
+            lines = [
+                json.loads(line)
+                for line in session_path(out).read_text().splitlines()
+            ]
+            snapshots = [r for r in lines if r.get("kind") == "snapshot"]
+            assert bool(snapshots) is expected
+            if expected:
+                # One per window except the last (it has no consumer),
+                # each journaled before its own window record.
+                assert [s["index"] for s in snapshots] == [0, 1]
+                positions = {
+                    (r.get("kind"), r.get("index")): pos
+                    for pos, r in enumerate(lines)
+                }
+                for s in snapshots:
+                    assert positions[("snapshot", s["index"])] < (
+                        positions[("window", s["index"])]
+                    )
+
+    def test_unaligned_windows_fall_back_to_prefix(self, tmp_path):
+        # window_s=10 never lands on a segment boundary: no snapshots are
+        # emitted, every window is a plain prefix run, digests unchanged.
+        config = ServiceConfig(out_dir=tmp_path, window_s=10.0,
+                               window_mode="incremental")
+        assert FleetService(config, CELLS[:1]).run() == 0
+        lines = [
+            json.loads(line)
+            for line in session_path(tmp_path).read_text().splitlines()
+        ]
+        assert not any(r.get("kind") == "snapshot" for r in lines)
+        assert all(
+            r["mode"] == "fresh"
+            for r in lines if r.get("kind") == "window"
+        )
 
 
 class TestCrashRecovery:
@@ -142,6 +235,60 @@ class TestCrashRecovery:
         post = sum(1 for r in lines if r.get("kind") == "window")
         assert pre_kill >= 1
         assert post == len(clean_windows)
+
+    @pytest.mark.parametrize("backend", ["serial", "queue:2"])
+    def test_incremental_kill_restart_resumes_from_snapshot(
+        self, tmp_path, backend
+    ):
+        env = {"REPRO_WINDOW_MODE": "incremental"}
+        clean = tmp_path / "clean"
+        r = serve_child(clean, extra_env=env, script=CHILD_ALIGNED)
+        assert r.returncode == 0, r.stderr
+
+        chaos = tmp_path / "chaos"
+        plan_path = tmp_path / "faults.json"
+        save_plan(
+            FaultPlan(entries=(FaultEntry(kind="daemon-kill", match="|w1"),)),
+            plan_path,
+        )
+        chaos_env = dict(env, REPRO_FAULT_PLAN=str(plan_path))
+        first = serve_child(chaos, backend, chaos_env, script=CHILD_ALIGNED)
+        assert first.returncode == DIE_EXIT_CODE, first.stderr
+        pre = [
+            json.loads(line)
+            for line in session_path(chaos).read_text().splitlines()
+        ]
+        # The kill fired after a window record's fsync; that window's
+        # snapshot (journaled first) is in the file for the restart.
+        assert any(r.get("kind") == "snapshot" for r in pre)
+
+        second = serve_child(chaos, backend, chaos_env, script=CHILD_ALIGNED)
+        assert second.returncode == 0, second.stderr
+
+        clean_windows = window_records(clean)
+        chaos_windows = window_records(chaos)
+        assert sorted(clean_windows) == sorted(chaos_windows)
+        for key in clean_windows:
+            assert json.dumps(clean_windows[key], sort_keys=True) == (
+                json.dumps(chaos_windows[key], sort_keys=True)
+            ), key
+
+        lines = [
+            json.loads(line)
+            for line in session_path(chaos).read_text().splitlines()
+        ]
+        starts = [
+            r for r in lines
+            if r.get("kind") == "event" and r.get("name") == "start"
+        ]
+        assert [s["detail"]["resumed"] for s in starts] == [False, True]
+        assert all(
+            s["detail"]["window_mode"] == "incremental" for s in starts
+        )
+        # The restarted session kept serving incrementally: windows it
+        # computed fresh journaled their own snapshots after the resume.
+        post_resume = lines[lines.index(starts[1]):]
+        assert any(r.get("kind") == "snapshot" for r in post_resume)
 
 
 class TestOversubscription:

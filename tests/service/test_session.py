@@ -106,6 +106,103 @@ class TestNextWindow:
         assert not log.complete
 
 
+class TestSnapshots:
+    def snap(self, n, size=0):
+        return {"v": 1, "origin_duration_s": 60.0 * (n + 1),
+                "pad": "x" * size}
+
+    def test_latest_snapshot_replays(self, tmp_path):
+        journal = make(tmp_path)
+        journal.record_admit(KEY, CELL, "float64", 120.0, 60.0)
+        journal.record_snapshot(KEY, 0, self.snap(0))
+        journal.record_window(KEY, 0, "fresh", digest="d0")
+        journal.record_snapshot(KEY, 1, self.snap(1))
+        journal.record_window(KEY, 1, "fresh", digest="d1")
+
+        reloaded = SessionJournal(session_path(tmp_path), FP, resume=True)
+        stream = reloaded.streams[KEY]
+        assert stream.snapshot == self.snap(1)
+        assert stream.snapshot_index == 1
+
+    def test_snapshot_without_window_still_usable(self, tmp_path):
+        # The journaling order (snapshot first, then window) means a kill
+        # between the two leaves this shape; the snapshot must replay.
+        journal = make(tmp_path)
+        journal.record_admit(KEY, CELL, "float64", 120.0, 60.0)
+        journal.record_snapshot(KEY, 0, self.snap(0))
+        reloaded = SessionJournal(session_path(tmp_path), FP, resume=True)
+        stream = reloaded.streams[KEY]
+        assert stream.snapshot == self.snap(0)
+        assert stream.next_window == 0  # the window itself never happened
+
+    def test_compaction_prunes_superseded_snapshots(self, tmp_path):
+        journal = SessionJournal(
+            session_path(tmp_path), FP, resume=False, compact_bytes=600
+        )
+        log = journal.record_admit(KEY, CELL, "float64", 600.0, 60.0)
+        for w in range(10):
+            journal.record_snapshot(KEY, w, self.snap(w, size=200))
+            journal.record_window(KEY, w, "fresh", digest=f"d{w}")
+        journal.record_retire(KEY, "complete")
+
+        lines = [
+            json.loads(line)
+            for line in session_path(tmp_path).read_text().splitlines()
+        ]
+        snapshots = [r for r in lines if r.get("kind") == "snapshot"]
+        # Stale snapshot bytes passed the threshold repeatedly: only a
+        # tail of snapshots survives, the newest among them.
+        assert len(snapshots) < 10
+        assert snapshots[-1]["index"] == 9
+        # Everything else is intact, in order, on a resumable journal.
+        windows = [r for r in lines if r.get("kind") == "window"]
+        assert [r["index"] for r in windows] == list(range(10))
+        reloaded = SessionJournal(session_path(tmp_path), FP, resume=True)
+        stream = reloaded.streams[KEY]
+        assert stream.snapshot_index == 9
+        assert stream.complete and stream.retired
+        assert log.windows.keys() == stream.windows.keys()
+
+    def test_compaction_keeps_one_snapshot_per_stream(self, tmp_path):
+        other_cell = SystemCell("DaCapo-Ekya", "resnet18_wrn50", "S4",
+                                0, 120.0)
+        other_key = cell_key("float64", other_cell)
+        journal = SessionJournal(
+            session_path(tmp_path), FP, resume=False, compact_bytes=1
+        )
+        journal.record_admit(KEY, CELL, "float64", 120.0, 60.0)
+        journal.record_admit(other_key, other_cell, "float64", 120.0, 60.0)
+        journal.record_snapshot(KEY, 0, self.snap(0))
+        journal.record_snapshot(other_key, 0, self.snap(0))
+        journal.record_snapshot(KEY, 1, self.snap(1))
+
+        reloaded = SessionJournal(session_path(tmp_path), FP, resume=True)
+        assert reloaded.streams[KEY].snapshot_index == 1
+        assert reloaded.streams[other_key].snapshot_index == 0
+        snapshots = [
+            json.loads(line)
+            for line in session_path(tmp_path).read_text().splitlines()
+            if '"snapshot"' in line
+        ]
+        assert len(snapshots) == 2
+
+    def test_torn_tail_after_compaction(self, tmp_path):
+        journal = SessionJournal(
+            session_path(tmp_path), FP, resume=False, compact_bytes=1
+        )
+        journal.record_admit(KEY, CELL, "float64", 120.0, 60.0)
+        journal.record_snapshot(KEY, 0, self.snap(0))
+        journal.record_snapshot(KEY, 1, self.snap(1))  # compacts
+        path = session_path(tmp_path)
+        with path.open("a") as handle:
+            handle.write('{"kind": "window", "stream"')
+
+        reloaded = SessionJournal(path, FP, resume=True)
+        stream = reloaded.streams[KEY]
+        assert stream.snapshot_index == 1
+        assert stream.next_window == 0
+
+
 class TestTornTail:
     def test_torn_final_line_is_dropped_and_terminated(self, tmp_path):
         journal = make(tmp_path)
