@@ -136,6 +136,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sharing_context(cli_value: str | None, spec_value: str | None):
+    """The sharing override a command runs under.
+
+    Precedence: explicit ``--sharing`` > the spec's ``[sweep] sharing`` >
+    ambient (``$REPRO_SHARING`` / off, which needs no override installed).
+    """
+    from contextlib import nullcontext
+
+    from repro.share.policy import resolve_sharing, use_sharing
+
+    chosen = cli_value if cli_value is not None else spec_value
+    if chosen is None:
+        return nullcontext()
+    return use_sharing(resolve_sharing(chosen))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     plan = compile_plan(spec)
@@ -144,31 +160,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Same contract as run_cells; checked here so --plan rejects an
         # invalid --jobs too instead of silently pricing at one worker.
         raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
-    if args.plan:
-        # Price the plan through the same backend resolution the real
-        # run uses (explicit --backend > ambient REPRO_BACKEND >
-        # default): garbage exits 2 exactly as it would without --plan,
-        # and the printed worker count matches the executed estimate.
-        # Backends construct lazily, so pricing spawns nothing.
-        instance, plan_workers, owned = resolve_backend(
-            args.backend, jobs or default_jobs(), plan.num_cells
-        )
-        if owned:
-            instance.close()
-        print(plan.describe(jobs=plan_workers), end="")
-        return 0
-    profiler = profiling.enable() if args.profile else None
-    try:
-        result = run_sweep(
-            plan,
-            jobs=jobs,
-            backend=args.backend,
-            out_dir=args.out,
-            resume=args.resume,
-        )
-    finally:
-        if profiler is not None:
-            profiling.disable()
+    with _sharing_context(args.sharing, spec.sharing):
+        if args.plan:
+            # Price the plan through the same backend resolution the real
+            # run uses (explicit --backend > ambient REPRO_BACKEND >
+            # default): garbage exits 2 exactly as it would without --plan,
+            # and the printed worker count matches the executed estimate.
+            # Backends construct lazily, so pricing spawns nothing.
+            instance, plan_workers, owned = resolve_backend(
+                args.backend, jobs or default_jobs(), plan.num_cells
+            )
+            if owned:
+                instance.close()
+            print(plan.describe(jobs=plan_workers), end="")
+            return 0
+        profiler = profiling.enable() if args.profile else None
+        try:
+            result = run_sweep(
+                plan,
+                jobs=jobs,
+                backend=args.backend,
+                out_dir=args.out,
+                resume=args.resume,
+            )
+        finally:
+            if profiler is not None:
+                profiling.disable()
     print(result.report)
     if profiler is not None:
         print()
@@ -215,7 +232,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"speedup={args.speedup:g} window={args.window:g}s",
         flush=True,
     )
-    with use_policy(group.policy):
+    with use_policy(group.policy), _sharing_context(
+        args.sharing, spec.sharing
+    ):
         service = FleetService(config, cells)
         code = service.run()
     print(f"session journal: {args.out}/session.jsonl")
@@ -306,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
                               "the queue lives at DIR/queue so external "
                               "workers can attach (results are "
                               "bit-identical on every backend)")
+    p_sweep.add_argument("--sharing", default=None, metavar="POLICY",
+                         help="cross-camera sharing policy (off/cluster); "
+                              "overrides the spec's [sweep] sharing and "
+                              "$REPRO_SHARING")
     p_sweep.add_argument("--resume", action="store_true",
                          help="skip shards already recorded in the "
                               "completion journal under --out DIR "
@@ -355,6 +378,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="keep serving after all streams retire "
                               "(admit more over the control plane); "
                               "default exits when idle")
+    p_serve.add_argument("--sharing", default=None, metavar="POLICY",
+                         help="cross-camera sharing policy (off/cluster); "
+                              "overrides the spec's [sweep] sharing and "
+                              "$REPRO_SHARING")
     p_serve.add_argument("--window-mode", default=None,
                          choices=["incremental", "prefix"],
                          help="incremental (default; resume each window "

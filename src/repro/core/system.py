@@ -238,14 +238,36 @@ class CLSystemBase:
 
         def commit(t0: float, t1: float) -> bool:
             with profiling.scope(profiling.RETRAIN):
-                self.student.retrain(
-                    x_train,
-                    y_train,
-                    epochs=self.config.epochs,
-                    rng=rng,
-                    learning_rate=self.config.learning_rate,
-                    batch_size=self.config.batch_size,
+                # Cross-camera sharing (opt-in): substitute a cluster
+                # neighbor's per-domain weights for this retrain when one
+                # is published; otherwise retrain and publish our own.
+                # Off-path (no active runtime) this is a no-op branch.
+                # (Lazy import: repro.share.runtime imports repro.core's
+                # snapshot codecs, so a module-level import is a cycle.)
+                from repro.share.runtime import active_cluster_runtime
+
+                runtime = active_cluster_runtime()
+                samples = self.config.epochs * len(x_train)
+                reused = (
+                    runtime.reusable_retrain(t0, samples)
+                    if runtime is not None
+                    else None
                 )
+                if reused is not None:
+                    self.student.restore(reused)
+                else:
+                    self.student.retrain(
+                        x_train,
+                        y_train,
+                        epochs=self.config.epochs,
+                        rng=rng,
+                        learning_rate=self.config.learning_rate,
+                        batch_size=self.config.batch_size,
+                    )
+                    if runtime is not None:
+                        runtime.publish_retrain(
+                            t0, self.student.snapshot(), samples
+                        )
                 outcome["accv"] = self.student.accuracy(x_val, y_val)
             return False
 
@@ -286,12 +308,29 @@ class CLSystemBase:
                 if len(window) == 0:
                     outcome["labeled"] = 0
                     return False
-                count = min(num_label, len(window))
-                picked = rng.choice(len(window), size=count, replace=False)
-                picked.sort()
-                x = window.features[picked]
-                assert self.teacher is not None
-                teacher_labels = self.teacher.label(x)
+                # Cross-camera sharing (opt-in): adopt a cluster neighbor's
+                # teacher labels for this (domain, slot) instead of running
+                # the teacher; otherwise label and publish for neighbors.
+                from repro.share.runtime import active_cluster_runtime
+
+                runtime = active_cluster_runtime()
+                shared = (
+                    runtime.shared_labels(t0) if runtime is not None else None
+                )
+                if shared is not None:
+                    x, teacher_labels = shared
+                    count = len(x)
+                else:
+                    count = min(num_label, len(window))
+                    picked = rng.choice(
+                        len(window), size=count, replace=False
+                    )
+                    picked.sort()
+                    x = window.features[picked]
+                    assert self.teacher is not None
+                    teacher_labels = self.teacher.label(x)
+                    if runtime is not None:
+                        runtime.publish_labels(t0, x, teacher_labels)
                 predictions = self.student.predict(x)
                 accl = float(np.mean(predictions == teacher_labels))
                 outcome["accl"] = accl

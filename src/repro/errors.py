@@ -13,6 +13,17 @@ class ConfigurationError(ReproError):
     """An invalid configuration value or combination was supplied."""
 
 
+class AdmissionRefused(ReproError):
+    """The service declined to admit a new stream under load.
+
+    Raised (and mapped to HTTP 503 by the control plane) when the fleet
+    is degraded to the point of shedding windows: admitting more work
+    would only deepen the overload.  Distinct from
+    :class:`ConfigurationError` -- the request was well-formed; retry it
+    once the fleet recovers.
+    """
+
+
 class QuantizationError(ReproError):
     """Input cannot be represented in the requested MX format."""
 

@@ -139,12 +139,13 @@ class SerialBackend:
         outcomes = []
         for spec in specs:
             with use_policy(spec.policy):
-                results, run_snapshot = run_spec_cells(spec)
+                results, run_snapshot, cluster_state = run_spec_cells(spec)
             outcomes.append(
                 ShardResult(
                     key=spec.key,
                     results=tuple(results),
                     snapshot=run_snapshot,
+                    cluster_state=cluster_state,
                 )
             )
         return outcomes
@@ -156,14 +157,16 @@ class SerialBackend:
 def _pool_run_shard(spec: ShardSpec) -> tuple:
     """Pool-worker entry point (module-level so it pickles)."""
     faults.on_claim(spec.key)
-    results, profile_snapshot, run_snapshot = execute_shard(spec)
+    results, profile_snapshot, run_snapshot, cluster_state = execute_shard(
+        spec
+    )
     # Pool replies are in-process Python objects, not encoded bytes, so
     # there are no bytes to garble: a ``corrupt-result`` firing drops the
     # last per-cell result instead, which the parent's length-vs-spec
     # check must reject before anything reaches a journal.
     if faults.reply_fault(spec.key) is not None:
         results = results[:-1]
-    return results, profile_snapshot, run_snapshot
+    return results, profile_snapshot, run_snapshot, cluster_state
 
 
 class ProcessPoolBackend:
@@ -200,7 +203,12 @@ class ProcessPoolBackend:
         broken = False
         for spec, future in zip(specs, futures):
             try:
-                results, profile_snapshot, run_snapshot = future.result()
+                (
+                    results,
+                    profile_snapshot,
+                    run_snapshot,
+                    cluster_state,
+                ) = future.result()
             except BrokenProcessPool as exc:
                 broken = True
                 outcomes.append(
@@ -249,6 +257,7 @@ class ProcessPoolBackend:
                         results=tuple(results),
                         profile=profile_snapshot,
                         snapshot=run_snapshot,
+                        cluster_state=cluster_state,
                     )
                 )
         if broken:

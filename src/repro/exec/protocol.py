@@ -230,6 +230,12 @@ def encode_shard_request(spec: ShardSpec) -> dict:
         message["snapshot"] = spec.snapshot
     if spec.emit_snapshot:
         message["emit_snapshot"] = True
+    if spec.sharing != "off":
+        message["sharing"] = spec.sharing
+    if spec.cluster_state is not None:
+        message["cluster_state"] = spec.cluster_state
+    if spec.emit_cluster_state:
+        message["emit_cluster_state"] = True
     return message
 
 
@@ -250,11 +256,19 @@ def decode_shard_spec(message: dict) -> ShardSpec:
         cache_root=message.get("cache_root"),
         snapshot=message.get("snapshot"),
         emit_snapshot=bool(message.get("emit_snapshot", False)),
+        sharing=str(message.get("sharing", "off")),
+        cluster_state=message.get("cluster_state"),
+        emit_cluster_state=bool(message.get("emit_cluster_state", False)),
     )
 
 
 def encode_shard_result(
-    key: str, results, profile: dict | None, snapshot: dict | None = None
+    key: str,
+    results,
+    profile: dict | None,
+    snapshot: dict | None = None,
+    *,
+    cluster_state: dict | None = None,
 ) -> dict:
     """The ``result`` message for one completed shard."""
     message = {
@@ -266,6 +280,8 @@ def encode_shard_result(
     }
     if snapshot is not None:
         message["snapshot"] = snapshot
+    if cluster_state is not None:
+        message["cluster_state"] = cluster_state
     return message
 
 
@@ -278,6 +294,7 @@ def decode_shard_result(message: dict) -> ShardResult:
         ),
         profile=message.get("profile"),
         snapshot=message.get("snapshot"),
+        cluster_state=message.get("cluster_state"),
     )
 
 

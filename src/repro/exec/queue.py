@@ -361,11 +361,15 @@ def queue_worker_main(
                         os.environ[CACHE_ENV] = baseline_cache_root
                     else:
                         os.environ.pop(CACHE_ENV, None)
-                    results, profile_snapshot, run_snapshot = (
-                        execute_shard(spec)
-                    )
+                    (
+                        results,
+                        profile_snapshot,
+                        run_snapshot,
+                        cluster_state,
+                    ) = execute_shard(spec)
                     reply = protocol.encode_shard_result(
-                        key, results, profile_snapshot, run_snapshot
+                        key, results, profile_snapshot, run_snapshot,
+                        cluster_state=cluster_state,
                     )
                     reply["worker"] = worker_id
                     mode = faults.reply_fault(key)

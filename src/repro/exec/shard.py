@@ -44,6 +44,13 @@ from repro.learn.student import make_student
 from repro.learn.teacher import make_teacher
 from repro.models.zoo import get_pair
 from repro.numeric import active_policy, use_policy
+from repro.share.cluster import cluster_cells
+from repro.share.policy import active_sharing, resolve_sharing, use_sharing
+from repro.share.runtime import (
+    ClusterRuntime,
+    decode_cluster_state,
+    encode_cluster_state,
+)
 
 __all__ = [
     "FAULT_TOKEN_ENV",
@@ -267,7 +274,23 @@ def plan_shards(
     This is exactly the decomposition every backend executes; it is
     public so planners can estimate materialization counts and worker
     balance without running anything.
+
+    Under an enabled sharing policy (:func:`repro.share.active_sharing`)
+    the decomposition changes shape: cells group by *cluster* instead of
+    stream signature, and clusters are never split -- a cluster's cells
+    must co-locate on one shard so label/weight reuse happens in-process.
+    The grouping is a pure function of the cell set and the policy, so it
+    is identical at every ``jobs`` count.
     """
+    sharing = active_sharing()
+    if sharing.enabled:
+        assignment = cluster_cells(cells, sharing)
+        clustered: dict[str, list[tuple[int, object]]] = {}
+        for index, cell in enumerate(cells):
+            clustered.setdefault(assignment.cluster_of(cell), []).append(
+                (index, cell)
+            )
+        return list(clustered.values())
     groups: dict[tuple, list[tuple[int, object]]] = {}
     for index, cell in enumerate(cells):
         groups.setdefault(stream_signature(cell), []).append((index, cell))
@@ -324,6 +347,14 @@ class ShardSpec:
             incompatible snapshot degrades to a full prefix run.
         emit_snapshot: Ship the run's final safe point back on the
             result (incremental windows; requires a single-cell shard).
+        sharing: Sharing policy *name* -- explicit for the same reason
+            ``policy`` is.  ``"off"`` (the default) is the bit-identical
+            independent path.
+        cluster_state: Encoded cluster weight state to seed the shard's
+            runtime from (service windows resuming a cluster's journaled
+            learning; requires a single-cell shard).
+        emit_cluster_state: Ship the shard's final cluster state back on
+            the result (requires a single-cell shard).
     """
 
     key: str
@@ -334,6 +365,9 @@ class ShardSpec:
     cache_root: str | None = None
     snapshot: dict | None = None
     emit_snapshot: bool = False
+    sharing: str = "off"
+    cluster_state: dict | None = None
+    emit_cluster_state: bool = False
 
 
 @dataclass(frozen=True)
@@ -344,6 +378,7 @@ class ShardResult:
     results: tuple
     profile: dict | None = None
     snapshot: dict | None = None
+    cluster_state: dict | None = None
 
 
 class ShardFailure(ExecutionError):
@@ -451,8 +486,16 @@ def make_shard_specs(
     *,
     profile: bool = False,
     cache_root: str | None = None,
+    sharing: str | None = None,
 ) -> list[ShardSpec]:
-    """Plan ``cells`` into :class:`ShardSpec`\\ s for ``jobs`` workers."""
+    """Plan ``cells`` into :class:`ShardSpec`\\ s for ``jobs`` workers.
+
+    ``sharing`` defaults to the ambient policy's name so specs carry it
+    explicitly to spawn-started and remote workers, exactly like the
+    numeric policy.
+    """
+    if sharing is None:
+        sharing = active_sharing().name
     specs = []
     for shard in plan_shards(cells, jobs):
         shard_cells = tuple(cell for _, cell in shard)
@@ -464,6 +507,7 @@ def make_shard_specs(
                 policy=policy_name,
                 profile=profile,
                 cache_root=cache_root,
+                sharing=sharing,
             )
         )
     return specs
@@ -495,14 +539,66 @@ def run_shard_cells(
             profiling.disable()
 
 
-def run_spec_cells(spec: ShardSpec) -> tuple[list[RunResult], dict | None]:
+def _run_cells_shared(
+    spec: ShardSpec, sharing
+) -> tuple[list[RunResult], dict | None, dict | None]:
+    """Execute a sharing-enabled spec's cells through cluster runtimes.
+
+    Sweep shards carry a whole cluster (the planner co-locates them) and
+    run its cells sequentially through one in-process runtime -- labels,
+    warm starts, and deltas all shared.  Service shards carry one window
+    cell plus the cluster's journaled weight state (``spec.cluster_state``)
+    and ship the updated state back on the result.
+    """
+    incremental = spec.snapshot is not None or spec.emit_snapshot
+    stateful = spec.cluster_state is not None or spec.emit_cluster_state
+    if (incremental or stateful) and len(spec.cells) != 1:
+        raise ConfigurationError(
+            f"incremental shard {spec.key} carries {len(spec.cells)} "
+            f"cells; snapshots resume exactly one"
+        )
+    assignment = cluster_cells(spec.cells, sharing)
+    runtimes: dict[str, ClusterRuntime] = {}
+    if spec.cluster_state is not None:
+        cid = assignment.cluster_of(spec.cells[0])
+        runtimes[cid] = decode_cluster_state(spec.cluster_state, sharing)
+    results: list[RunResult] = []
+    run_snapshot: dict | None = None
+    for cell in spec.cells:
+        cid = assignment.cluster_of(cell)
+        runtime = runtimes.get(cid)
+        if runtime is None:
+            runtime = runtimes[cid] = ClusterRuntime(sharing, cid)
+        with runtime.activate(cell):
+            if incremental:
+                result, run_snapshot = run_cell_incremental(
+                    cell, spec.snapshot, spec.emit_snapshot
+                )
+            else:
+                result = run_cell(cell)
+        results.append(result)
+    cluster_state = None
+    if stateful:
+        only = runtimes[assignment.cluster_of(spec.cells[0])]
+        cluster_state = encode_cluster_state(only)
+    return results, run_snapshot, cluster_state
+
+
+def run_spec_cells(
+    spec: ShardSpec,
+) -> tuple[list[RunResult], dict | None, dict | None]:
     """Execute a spec's cells under the ambient policy/profiler.
 
-    Returns ``(results, run_snapshot)``.  Incremental specs (a resume
-    snapshot and/or ``emit_snapshot``) must carry exactly one cell -- a
-    snapshot names one run's state, and the service dispatches one window
-    per shard by construction.
+    Returns ``(results, run_snapshot, cluster_state)``.  Incremental specs
+    (a resume snapshot and/or ``emit_snapshot``) must carry exactly one
+    cell -- a snapshot names one run's state, and the service dispatches
+    one window per shard by construction.  Sharing-enabled specs route
+    through per-cluster runtimes; the default off-path below is byte-for-
+    byte the historical independent execution.
     """
+    sharing = resolve_sharing(spec.sharing)
+    if sharing.enabled:
+        return _run_cells_shared(spec, sharing)
     if spec.snapshot is not None or spec.emit_snapshot:
         if len(spec.cells) != 1:
             raise ConfigurationError(
@@ -512,26 +608,27 @@ def run_spec_cells(spec: ShardSpec) -> tuple[list[RunResult], dict | None]:
         result, snapshot = run_cell_incremental(
             spec.cells[0], spec.snapshot, spec.emit_snapshot
         )
-        return [result], snapshot
-    return [run_cell(cell) for cell in spec.cells], None
+        return [result], snapshot, None
+    return [run_cell(cell) for cell in spec.cells], None, None
 
 
 def execute_shard(
     spec: ShardSpec,
-) -> tuple[list[RunResult], dict | None, dict | None]:
+) -> tuple[list[RunResult], dict | None, dict | None, dict | None]:
     """The worker-side entry point for one spec, on any transport.
 
-    Installs the spec's numeric policy, runs its cells (honouring the
-    incremental snapshot fields), and profiles when asked.  Returns
-    ``(results, profile_snapshot, run_snapshot)``.
+    Installs the spec's numeric and sharing policies, runs its cells
+    (honouring the incremental snapshot and cluster-state fields), and
+    profiles when asked.  Returns ``(results, profile_snapshot,
+    run_snapshot, cluster_state)``.
     """
-    with use_policy(spec.policy):
+    with use_policy(spec.policy), use_sharing(spec.sharing):
         if not spec.profile:
-            results, run_snapshot = run_spec_cells(spec)
-            return results, None, run_snapshot
+            results, run_snapshot, cluster_state = run_spec_cells(spec)
+            return results, None, run_snapshot, cluster_state
         profiler = profiling.enable()
         try:
-            results, run_snapshot = run_spec_cells(spec)
-            return results, profiler.snapshot(), run_snapshot
+            results, run_snapshot, cluster_state = run_spec_cells(spec)
+            return results, profiler.snapshot(), run_snapshot, cluster_state
         finally:
             profiling.disable()

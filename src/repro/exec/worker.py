@@ -159,9 +159,12 @@ def worker_main(argv: list[str] | None = None) -> int:
                     os.environ[CACHE_ENV] = baseline_cache_root
                 else:
                     os.environ.pop(CACHE_ENV, None)
-                results, profile_snapshot, run_snapshot = execute_shard(
-                    spec
-                )
+                (
+                    results,
+                    profile_snapshot,
+                    run_snapshot,
+                    cluster_state,
+                ) = execute_shard(spec)
             except Exception as exc:
                 send_error(
                     channel, message.get("id"),
@@ -170,7 +173,8 @@ def worker_main(argv: list[str] | None = None) -> int:
                 )
                 continue
             reply = protocol.encode_shard_result(
-                spec.key, results, profile_snapshot, run_snapshot
+                spec.key, results, profile_snapshot, run_snapshot,
+                cluster_state=cluster_state,
             )
             mode = faults.reply_fault(spec.key)
             if mode is not None:

@@ -191,9 +191,21 @@ def make_student(
     mlp = _pretrained_mlp(
         model_name, domain_model.geometry_seed, seed, active_policy().name
     )
+    cloned = mlp.clone()
+    # Cross-camera sharing (opt-in): within a cluster, the first member's
+    # pretrain becomes the cluster base and later members warm-start from
+    # the cluster's freshest weights.  No active runtime -> untouched.
+    # (Imported here, not at module top: repro.share reaches this module
+    # through the scenario/learn import chain, and a module-level import
+    # back into repro.share.runtime would complete that cycle.)
+    from repro.share.runtime import active_cluster_runtime
+
+    runtime = active_cluster_runtime()
+    if runtime is not None:
+        runtime.adopt_student(model_name, cloned)
     return StudentModel(
         name=model_name,
-        mlp=mlp.clone(),
+        mlp=cloned,
         inference_fmt=inference_fmt,
         training_fmt=training_fmt,
         sensitivity=config.precision_sensitivity,

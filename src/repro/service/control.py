@@ -26,8 +26,11 @@ POST     ``/drain``     Stop admitting work, finish in-flight windows,
 =======  =============  ==================================================
 
 Commands respond ``{"ok": true, ...}`` or an ``{"ok": false, "error"}``
-with status 400 (caller mistake -- unknown stream, malformed cell) or 500
-(internal error); a control-plane request can never crash the daemon.
+with status 400 (caller mistake -- unknown stream, malformed cell), 503
+(``/admit`` refused: the fleet is shedding windows and will not take new
+streams -- retry after recovery; the body carries ``"refused": true``),
+or 500 (internal error); a control-plane request can never crash the
+daemon.
 The server runs on a daemon thread (``ThreadingHTTPServer``), so a slow
 or wedged client never stalls the supervisor loop; every handler touches
 the service only through its thread-safe command/snapshot methods.
@@ -43,7 +46,7 @@ from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from threading import Thread
 
-from repro.errors import ConfigurationError
+from repro.errors import AdmissionRefused, ConfigurationError
 
 __all__ = ["ControlServer", "control_request"]
 
@@ -150,6 +153,17 @@ class ControlServer:
                             404,
                             {"ok": False, "error": f"no route {self.path}"},
                         )
+                except AdmissionRefused as exc:
+                    # 503: the request was fine, the fleet is overloaded
+                    # -- retry once it recovers.
+                    self._reply(
+                        503,
+                        {
+                            "ok": False,
+                            "refused": True,
+                            "error": str(exc),
+                        },
+                    )
                 except (ConfigurationError, json.JSONDecodeError) as exc:
                     self._reply(400, {"ok": False, "error": str(exc)})
                 except Exception as exc:  # pragma: no cover - belt

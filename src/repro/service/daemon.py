@@ -55,6 +55,26 @@ sessions (what the crash-recovery digest harness runs).  A window whose
 dispatch fails terminally (retries exhausted, fleet dead) is journaled
 as shed with its frames counted dropped and the ladder escalated --
 an infrastructure failure degrades output, never liveness.
+
+**Cross-camera sharing.**  Under an enabled
+:class:`~repro.share.policy.SharingPolicy` (``repro serve --sharing
+cluster``), streams are clustered by drift fingerprint as they are
+admitted (:class:`~repro.share.cluster.ClusterTracker`) and a cluster's
+windows route through a shared weight state: each window shard carries
+the cluster's newest encoded state, runs under a
+:class:`~repro.share.runtime.ClusterRuntime`, and returns the updated
+state, which is journaled as a ``cluster`` record so a resumed session
+keeps its accumulated reuse.  Because that state is read-modify-write,
+at most one window per *cluster* (not just per stream) is in flight at a
+time.  With sharing off -- the default -- none of this machinery runs
+and the journal is byte-identical to the historical format.
+
+**Admission control.**  Admitting a new stream while any live stream is
+shedding windows would only deepen the overload, so ``POST /admit``
+for an unknown stream is refused with a typed
+:class:`~repro.errors.AdmissionRefused` (HTTP 503) while any
+non-retired stream sits at SHED; re-admits of known streams (idempotent
+no-ops or journal re-attaches) always succeed.
 """
 
 from __future__ import annotations
@@ -75,7 +95,7 @@ from repro.cache import CACHE_ENV
 from repro.core.runner import FIG2_KINDS, GPU_PLATFORMS, SYSTEM_BUILDERS
 from repro.core.snapshot import stream_prefix_aligned
 from repro.data.scenarios import SCENARIO_NAMES, build_scenario
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import AdmissionRefused, ConfigurationError, ProtocolError
 from repro.exec import protocol
 from repro.exec.backends import resolve_backend
 from repro.exec.scheduler import Scheduler
@@ -98,6 +118,8 @@ from repro.service.session import (
     session_fingerprint,
     session_path,
 )
+from repro.share.cluster import ClusterTracker
+from repro.share.policy import active_sharing
 
 __all__ = [
     "FleetService",
@@ -233,6 +255,13 @@ class FleetService:
     ) -> None:
         self.config = config
         self.policy = active_policy().name
+        self.sharing = active_sharing()
+        self._clusters = (
+            ClusterTracker(self.sharing) if self.sharing.enabled else None
+        )
+        self._stream_cluster: dict[str, str] = {}
+        self._cluster_states: dict[str, dict] = {}
+        self._cluster_inflight: set[str] = set()
         self.clock = FrameClock(
             config.speedup, clock if clock is not None else time.monotonic
         )
@@ -265,6 +294,8 @@ class FleetService:
             return {"ok": False, "error": "service did not respond"}
         if "config_error" in response:
             raise ConfigurationError(response["config_error"])
+        if "refused" in response:
+            raise AdmissionRefused(response["refused"])
         return response
 
     def command_admit(self, payload: dict) -> dict:
@@ -301,9 +332,19 @@ class FleetService:
         path = session_path(out)
         self.journal = SessionJournal(
             path,
-            session_fingerprint(self.policy, config.window_s),
+            session_fingerprint(
+                self.policy,
+                config.window_s,
+                sharing=(
+                    self.sharing.name if self.sharing.enabled else None
+                ),
+            ),
             resume=path.exists(),
         )
+        if self.sharing.enabled:
+            # Resumed sessions pick their accumulated cluster state
+            # back up; fresh ones start empty.
+            self._cluster_states = dict(self.journal.clusters)
         self._backend, self._workers, self._backend_owned = resolve_backend(
             config.backend, config.jobs, 2, queue_dir=str(out / "queue")
         )
@@ -312,18 +353,18 @@ class FleetService:
             if config.max_inflight is not None
             else max(2, 2 * self._workers)
         )
-        self.journal.record_event(
-            "start",
-            {
-                "resumed": self.journal.resumed,
-                "backend": self._backend.name,
-                "workers": self._workers,
-                "policy": self.policy,
-                "speedup": config.speedup,
-                "window_s": config.window_s,
-                "window_mode": config.window_mode,
-            },
-        )
+        start_detail = {
+            "resumed": self.journal.resumed,
+            "backend": self._backend.name,
+            "workers": self._workers,
+            "policy": self.policy,
+            "speedup": config.speedup,
+            "window_s": config.window_s,
+            "window_mode": config.window_mode,
+        }
+        if self.sharing.enabled:
+            start_detail["sharing"] = self.sharing.name
+        self.journal.record_event("start", start_detail)
         for log in self.journal.active_streams():
             self._attach(log)
         for cell in self.initial_cells:
@@ -412,6 +453,8 @@ class FleetService:
                         "ok": False,
                         "error": f"unknown command {action!r}",
                     }
+            except AdmissionRefused as exc:
+                response = {"ok": False, "refused": str(exc)}
             except ConfigurationError as exc:
                 response = {"ok": False, "config_error": str(exc)}
             except Exception as exc:
@@ -433,12 +476,37 @@ class FleetService:
         except ProtocolError as exc:
             raise ConfigurationError(f"bad admit payload: {exc}")
         self._validate_cell(cell)
+        self._check_admission(cell)
         state = self._admit_cell(cell)
         return {
             "ok": True,
             "stream": state.log.key,
             "windows": state.log.total_windows,
         }
+
+    def _check_admission(self, cell) -> None:
+        """Refuse *new* streams while any live stream is shedding.
+
+        A stream at SHED means the fleet cannot keep up with the load it
+        already has; admitting more would convert one overloaded stream
+        into many.  Known keys (idempotent re-admits and journal
+        re-attaches) pass -- they add no new load.
+        """
+        key = cell_key(self.policy, self._resolve_cell(cell))
+        if key in self.streams or key in self.journal.streams:
+            return
+        shedding = [
+            state.log.key
+            for state in self.streams.values()
+            if not state.log.retired
+            and state.ladder.level == DegradeLevel.SHED
+        ]
+        if shedding:
+            raise AdmissionRefused(
+                "fleet is overloaded: "
+                f"{len(shedding)} stream(s) at SHED "
+                f"(first: {shedding[0]}); retry after recovery"
+            )
 
     def _validate_cell(self, cell) -> None:
         checks = [("scenario", cell.scenario, tuple(SCENARIO_NAMES)),
@@ -513,6 +581,10 @@ class FleetService:
         return cell
 
     def _attach(self, log: StreamLog) -> StreamState:
+        if self._clusters is not None:
+            # Incremental greedy assignment in admission order; a resumed
+            # session replays admits in journal order, so ids reproduce.
+            self._stream_cluster[log.key] = self._clusters.assign(log.cell)
         # Resume re-paces from the next window's boundary: its arrival is
         # one full window of wall time out, exactly as at first admit.
         next_start = min(log.next_window * log.window_s, log.duration_s)
@@ -582,9 +654,17 @@ class FleetService:
             return
         if self._inflight >= self._max_inflight:
             return  # backpressure: windows queue, dispatch never swamps
+        cid = self._stream_cluster.get(state.log.key)
+        if cid is not None and cid in self._cluster_inflight:
+            # Cluster state is read-modify-write: a second concurrent
+            # window of the same cluster would race on it.  The window
+            # waits; in paced mode the ladder charges any lateness.
+            return
         spec = self._window_spec(state, w)
         state.inflight = w
         self._inflight += 1
+        if cid is not None:
+            self._cluster_inflight.add(cid)
         self._jobs.put((state.log.key, w, spec))
 
     def _window_spec(self, state: StreamState, index: int) -> ShardSpec:
@@ -611,6 +691,14 @@ class FleetService:
                 index + 1 < state.log.total_windows
                 and stream_prefix_aligned(end)
             )
+        sharing = "off"
+        cluster_state = None
+        emit_cluster = False
+        if self.sharing.enabled:
+            sharing = self.sharing.name
+            cid = self._stream_cluster.get(state.log.key)
+            cluster_state = self._cluster_states.get(cid)
+            emit_cluster = True
         return ShardSpec(
             key=shard_key(self.policy, cells),
             cells=cells,
@@ -620,6 +708,9 @@ class FleetService:
             cache_root=os.environ.get(CACHE_ENV),
             snapshot=snapshot,
             emit_snapshot=emit,
+            sharing=sharing,
+            cluster_state=cluster_state,
+            emit_cluster_state=emit_cluster,
         )
 
     def _window_frames(self, state: StreamState, index: int) -> int:
@@ -635,6 +726,9 @@ class FleetService:
             except queue_module.Empty:
                 return
             self._inflight -= 1
+            cid = self._stream_cluster.get(key)
+            if cid is not None:
+                self._cluster_inflight.discard(cid)
             state = self.streams.get(key)
             if state is None or state.log.retired:
                 continue  # retired mid-flight: the result is discarded
@@ -670,6 +764,14 @@ class FleetService:
             dropped=0,
             result=protocol.encode_result(result),
         )
+        cluster_state = getattr(outcome, "cluster_state", None)
+        if cluster_state is not None:
+            # After the window record: losing this to a kill costs the
+            # next window some reuse, never a window's provenance.
+            cid = self._stream_cluster.get(log.key)
+            if cid is not None:
+                self._cluster_states[cid] = cluster_state
+                self.journal.record_cluster(cid, cluster_state)
         state.last_fresh_accuracy = accuracy
         state.pacer.record_completion(w, now)
         if state.ladder.level == DegradeLevel.NORMAL:
@@ -788,6 +890,8 @@ class FleetService:
                 "retired": log.retired,
                 "retire_reason": log.retire_reason,
             }
+            if self.sharing.enabled:
+                streams[key]["cluster"] = self._stream_cluster.get(key)
         backend_info = {"name": self._backend.name, "workers": self._workers}
         procs = getattr(self._backend, "_procs", None)
         if procs is not None:
@@ -809,6 +913,12 @@ class FleetService:
             "events": len(self.journal.events),
             "streams": streams,
         }
+        if self.sharing.enabled:
+            snapshot["sharing"] = {
+                "policy": self.sharing.name,
+                "clusters": sorted(set(self._stream_cluster.values())),
+                "inflight_clusters": sorted(self._cluster_inflight),
+            }
         with self._snapshot_lock:
             self._snapshot = snapshot
 

@@ -34,6 +34,10 @@ Record kinds (one JSON line each, after the header):
   stream is live; superseded snapshot records are pruned when their
   stale bytes pass the compaction threshold (the journal is rewritten
   atomically, all other records byte-preserved in order).
+- ``cluster``  ``{cluster, state}`` -- a sharing cluster's newest
+  weight state (see :mod:`repro.share.runtime`), journaled only when a
+  sharing policy is active.  Like snapshots, only the latest per
+  cluster id is live and superseded records are compacted away.
 - ``degrade``  one ladder :class:`~repro.service.degrade.Transition`.
 - ``retire``   ``{stream, reason}``.
 - ``event``    ``{name, detail}`` -- operational punctuation.
@@ -83,18 +87,24 @@ def session_path(out_dir: str | Path) -> Path:
     return Path(out_dir) / "session.jsonl"
 
 
-def session_fingerprint(policy: str, window_s: float) -> str:
+def session_fingerprint(
+    policy: str, window_s: float, sharing: str | None = None
+) -> str:
     """Content fingerprint pinning a journal to its session parameters.
 
     Streams are admitted at runtime, so -- unlike a sweep journal, whose
     fingerprint covers the whole compiled plan -- only the parameters
     that would silently change the meaning of *every* record are pinned:
-    the numeric policy (digests are policy-scoped) and the window length
-    (window indices are meaningless across a different split).
+    the numeric policy (digests are policy-scoped), the window length
+    (window indices are meaningless across a different split), and -- only
+    when enabled -- the sharing policy (shared-path window results differ
+    from independent ones, so the journals must never mix; the off-path
+    fingerprint stays the historical byte string).
     """
-    return hashlib.sha256(
-        f"service|v{SESSION_VERSION}|{policy}|{window_s:g}".encode()
-    ).hexdigest()
+    text = f"service|v{SESSION_VERSION}|{policy}|{window_s:g}"
+    if sharing is not None:
+        text += f"|sharing={sharing}"
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 @dataclass
@@ -174,6 +184,7 @@ class SessionJournal:
         self.path = Path(path)
         self.fingerprint = fingerprint
         self.streams: dict[str, StreamLog] = {}
+        self.clusters: dict[str, dict] = {}
         self.events: list[dict] = []
         self.resumed = False
         self.compact_bytes = (
@@ -256,10 +267,16 @@ class SessionJournal:
 
         Sizes are recomputed from a compact re-dump -- byte-identical to
         what :meth:`_append` wrote, since ``json`` round-trips key order,
-        ints, and float reprs exactly.
+        ints, and float reprs exactly.  Cluster-state records share the
+        accounting under a namespaced key (cluster ids and stream keys
+        live in different namespaces, so the sentinel prefix keeps them
+        from colliding).
         """
         size = len(json.dumps(record, separators=(",", ":"))) + 1
-        key = record.get("stream", "")
+        if record.get("kind") == "cluster":
+            key = "\x00cluster\x00" + str(record.get("cluster", ""))
+        else:
+            key = record.get("stream", "")
         self._stale_snapshot_bytes += self._snapshot_bytes.get(key, 0)
         self._snapshot_bytes[key] = size
 
@@ -284,6 +301,13 @@ class SessionJournal:
             # Journal order is supersession order: the last one wins.
             stream.snapshot = record.get("state")
             stream.snapshot_index = int(record.get("index", -1))
+            self._note_snapshot(record)
+            return
+        if kind == "cluster":
+            # Journal order is supersession order: the last one wins.
+            self.clusters[str(record.get("cluster", ""))] = record.get(
+                "state"
+            )
             self._note_snapshot(record)
             return
         if kind == "degrade" and stream is not None:
@@ -317,15 +341,22 @@ class SessionJournal:
         leaves either the old journal or the new one, never a mix.
         """
         last_snapshot: dict[str, int] = {}
+        last_cluster: dict[str, int] = {}
         for position, record in enumerate(self._records):
             if record.get("kind") == "snapshot":
                 last_snapshot[record.get("stream", "")] = position
-        keep = [
-            record
-            for position, record in enumerate(self._records)
-            if record.get("kind") != "snapshot"
-            or last_snapshot.get(record.get("stream", "")) == position
-        ]
+            elif record.get("kind") == "cluster":
+                last_cluster[record.get("cluster", "")] = position
+        keep = []
+        for position, record in enumerate(self._records):
+            kind = record.get("kind")
+            if kind == "snapshot":
+                if last_snapshot.get(record.get("stream", "")) != position:
+                    continue
+            elif kind == "cluster":
+                if last_cluster.get(record.get("cluster", "")) != position:
+                    continue
+            keep.append(record)
         header = {
             "kind": "header",
             "version": SESSION_VERSION,
@@ -453,6 +484,26 @@ class SessionJournal:
         if stream is not None:
             stream.snapshot = state
             stream.snapshot_index = int(index)
+        self._note_snapshot(record)
+        if self._stale_snapshot_bytes > self.compact_bytes:
+            self._compact()
+
+    def record_cluster(self, cluster_id: str, state: dict) -> None:
+        """Journal a sharing cluster's newest weight state.
+
+        Journaled *after* the window record that produced it: losing the
+        cluster record to a kill merely costs the next window some reuse
+        (it recomputes from the previous cluster state), never a window
+        record whose provenance is gone.  Superseded cluster records are
+        compacted away alongside stale snapshots.
+        """
+        record = {
+            "kind": "cluster",
+            "cluster": str(cluster_id),
+            "state": state,
+        }
+        self._append(record)
+        self.clusters[str(cluster_id)] = state
         self._note_snapshot(record)
         if self._stale_snapshot_bytes > self.compact_bytes:
             self._compact()

@@ -32,6 +32,8 @@ from repro.core.parallel import (
 )
 from repro.data.stream import DEFAULT_DURATION_S
 from repro.numeric import NumericPolicy, POLICIES, active_policy
+from repro.share.cluster import cluster_cells, describe_clusters
+from repro.share.policy import active_sharing
 from repro.sweep.spec import SweepSpec
 
 __all__ = ["CostEstimate", "PolicyPlan", "SweepPlan", "compile_plan"]
@@ -61,6 +63,11 @@ class CostEstimate:
         shards: Worker shards at the estimate's ``jobs``.
         largest_shard_cells: Cells in the heaviest shard (balance proxy).
         jobs: The worker count the shard plan was computed for.
+        sharing: Cross-camera sharing estimate, present only when a
+            sharing policy is active (so off-path reports keep their
+            historical byte shape): cluster count and sizes plus the
+            estimated *shared* label stream-seconds and pretrain count
+            against the independent figures above.
     """
 
     cells: int
@@ -71,10 +78,11 @@ class CostEstimate:
     shards: int
     largest_shard_cells: int
     jobs: int
+    sharing: dict | None = None
 
     def as_dict(self) -> dict:
         """Plain-dict form for JSON reports."""
-        return {
+        payload = {
             "cells": self.cells,
             "distinct_streams": self.distinct_streams,
             "stream_seconds": self.stream_seconds,
@@ -84,6 +92,9 @@ class CostEstimate:
             "largest_shard_cells": self.largest_shard_cells,
             "jobs": self.jobs,
         }
+        if self.sharing is not None:
+            payload["sharing"] = self.sharing
+        return payload
 
 
 @dataclass(frozen=True)
@@ -132,7 +143,48 @@ class SweepPlan:
             shards=shards,
             largest_shard_cells=largest,
             jobs=jobs,
+            sharing=self._sharing_estimate(),
         )
+
+    def _sharing_estimate(self) -> dict | None:
+        """Cluster counts and shared-work estimates (None when sharing off).
+
+        Within a cluster, teacher labeling runs once per (domain, slot),
+        so the shared label bill is one longest member per cluster; warm
+        starts mean one pretrain per cluster instead of one per seed.
+        Both are planner estimates -- the executor's counters report the
+        realized reuse.
+        """
+        sharing = active_sharing()
+        if not sharing.enabled:
+            return None
+        clusters = 0
+        largest_cluster = 0
+        shared_seconds = 0.0
+        shared_pretrains = 0
+        for group in self.groups:
+            assignment = cluster_cells(group.cells, sharing)
+            grouped = assignment.cluster_cells_of(group.cells)
+            clusters += len(grouped)
+            shared_pretrains += len(grouped)
+            for members in grouped.values():
+                largest_cluster = max(largest_cluster, len(members))
+                shared_seconds += max(
+                    (
+                        float(DEFAULT_DURATION_S)
+                        if cell.duration_s is None
+                        else cell.duration_s
+                    )
+                    for cell in members
+                )
+        return {
+            "policy": sharing.name,
+            "threshold": sharing.threshold,
+            "clusters": clusters,
+            "largest_cluster_cells": largest_cluster,
+            "label_stream_seconds_shared": shared_seconds,
+            "pretrained_models_shared": shared_pretrains,
+        }
 
     def describe(self, jobs: int = 1) -> str:
         """Human-readable plan summary (the ``sweep --plan`` output)."""
@@ -151,6 +203,24 @@ class SweepPlan:
             f"  shards @ jobs={est.jobs:<4d} "
             f"{est.shards} (largest {est.largest_shard_cells} cells)",
         ]
+        if est.sharing is not None:
+            sh = est.sharing
+            lines += [
+                f"  sharing            {sh['policy']} "
+                f"(threshold {sh['threshold']:g})",
+                f"  clusters           {sh['clusters']} "
+                f"(largest {sh['largest_cluster_cells']} cells)",
+                "  label stream sec   "
+                f"{sh['label_stream_seconds_shared']:.0f} shared / "
+                f"{est.stream_seconds:.0f} independent",
+                "  pretrained models  "
+                f"{sh['pretrained_models_shared']} shared / "
+                f"{est.pretrained_models} independent",
+            ]
+            for group in self.groups:
+                assignment = cluster_cells(group.cells, active_sharing())
+                for line in describe_clusters(assignment, group.cells):
+                    lines.append(f"  [{group.policy.name}] {line}")
         for group in self.groups:
             head = group.cells[: 3]
             preview = ", ".join(_cell_label(cell) for cell in head)

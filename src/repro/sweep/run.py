@@ -36,6 +36,8 @@ from repro.exec import (
 from repro.exec.backends import resolve_backend
 from repro.experiments.reporting import ExperimentResult, format_table
 from repro.numeric import use_policy
+from repro.share.cluster import cluster_cells
+from repro.share.policy import active_sharing
 from repro.sweep.aggregate import (
     SWEEP_SCHEMA_VERSION,
     aggregate_rows,
@@ -65,9 +67,16 @@ def plan_fingerprint(plan: SweepPlan) -> str:
     Covers the spec name, cell kind, and every (policy, cell) in
     expansion order -- but *not* jobs or backend, so a journal written at
     ``--jobs 8`` over subprocess workers resumes at ``--jobs 1`` serial.
+    An enabled sharing policy is folded in (its results differ from
+    independent ones), so a sharing journal can never resume an
+    independent sweep or vice versa; the off-path fingerprint is the
+    historical byte string.
     """
     hasher = hashlib.sha256()
     hasher.update(f"{plan.spec.name}|{plan.spec.cell}".encode())
+    sharing = active_sharing()
+    if sharing.enabled:
+        hasher.update(f"|sharing={sharing.name}".encode())
     for group in plan.groups:
         for cell in group.cells:
             hasher.update(cell_key(group.policy.name, cell).encode())
@@ -162,14 +171,40 @@ def run_sweep(
     triples = []
     resumed = 0
     try:
+        sharing = active_sharing()
         for group in plan.groups:
             cells = list(group.cells)
             results: list = [None] * len(cells)
             remaining = []
+            whole_clusters: set[str] | None = None
+            if sharing.enabled and journal is not None and resume:
+                # Sharing makes a cluster's cells interdependent: a cell
+                # journaled mid-cluster cannot be skipped alone, because
+                # re-running only its neighbors would see different
+                # cluster state.  Skip at cluster granularity -- partial
+                # clusters recompute whole (deterministically identical,
+                # so re-journaled records are bit-equal to the originals).
+                assignment = cluster_cells(cells, sharing)
+                whole_clusters = {
+                    cid
+                    for cid, members in assignment.cluster_cells_of(
+                        cells
+                    ).items()
+                    if all(
+                        journal.lookup(cell_key(group.policy.name, member))
+                        is not None
+                        for member in members
+                    )
+                }
             for index, cell in enumerate(cells):
                 done = None
                 if journal is not None and resume:
-                    done = journal.lookup(cell_key(group.policy.name, cell))
+                    if whole_clusters is None or (
+                        assignment.cluster_of(cell) in whole_clusters
+                    ):
+                        done = journal.lookup(
+                            cell_key(group.policy.name, cell)
+                        )
                 if done is None:
                     remaining.append(index)
                 else:

@@ -62,6 +62,7 @@ from repro.data.scenarios import SCENARIO_NAMES
 from repro.errors import ConfigurationError
 from repro.models.zoo import MODEL_PAIRS
 from repro.numeric import resolve_policy
+from repro.share.policy import resolve_sharing
 
 __all__ = [
     "AXIS_ORDERS",
@@ -150,6 +151,9 @@ class SweepSpec:
         group_by: Per-cell row columns the aggregation groups on.
         percentiles: Percentiles reported per metric.
         metrics: Metrics reduced by the aggregation layer.
+        sharing: Cross-camera sharing policy name (``[sweep] sharing``),
+            or None to defer to the ambient policy (``--sharing`` /
+            ``$REPRO_SHARING`` / off).  Canonicalized at validation.
     """
 
     name: str
@@ -160,8 +164,17 @@ class SweepSpec:
     group_by: tuple[str, ...] = _DEFAULT_GROUP_BY
     percentiles: tuple[float, ...] = _DEFAULT_PERCENTILES
     metrics: tuple[str, ...] = _DEFAULT_METRICS
+    sharing: str | None = None
 
     def __post_init__(self) -> None:
+        if self.sharing is not None:
+            if not isinstance(self.sharing, str):
+                raise ConfigurationError(
+                    "sweep spec: 'sharing' must be a policy name string"
+                )
+            object.__setattr__(
+                self, "sharing", resolve_sharing(self.sharing).name
+            )
         _validate_spec(self)
 
     @property
@@ -436,6 +449,9 @@ def spec_from_mapping(data: dict, source: str = "<mapping>") -> SweepSpec:
         raise _fail(source, "[sweep] needs a non-empty string 'name'")
     title = head.pop("title", name)
     cell = head.pop("cell", "system")
+    sharing = head.pop("sharing", None)
+    if sharing is not None and not isinstance(sharing, str):
+        raise _fail(source, "[sweep] 'sharing' must be a policy name string")
     if head:
         raise _fail(
             source, f"unknown [sweep] keys: {', '.join(sorted(head))}"
@@ -486,6 +502,7 @@ def spec_from_mapping(data: dict, source: str = "<mapping>") -> SweepSpec:
         group_by=group_by,
         percentiles=percentiles,
         metrics=metrics,
+        sharing=sharing,
     )
 
 

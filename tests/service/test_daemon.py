@@ -452,3 +452,168 @@ class TestControlPlane:
         finally:
             control_request(port, "/drain", {})
             thread.join(timeout=60.0)
+
+
+SHARED_CELLS = [
+    SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", s, 180.0)
+    for s in range(3)
+]
+
+
+class TestSharedService:
+    def serve(self, out_dir, window_s=60.0):
+        from repro.share.policy import CLUSTER, use_sharing
+
+        config = ServiceConfig(out_dir=out_dir, window_s=window_s)
+        with use_sharing(CLUSTER):
+            # The sharing policy is captured at construction time.
+            service = FleetService(config, list(SHARED_CELLS))
+            assert service.run() == 0
+        return service
+
+    def test_shared_session_journals_cluster_state(self, tmp_path):
+        # Three correlated cameras on one S4 intersection: one cluster,
+        # whose weight state rides the session journal window by window.
+        service = self.serve(tmp_path)
+        lines = [
+            json.loads(line)
+            for line in session_path(tmp_path).read_text().splitlines()
+        ]
+        clusters = [r for r in lines if r.get("kind") == "cluster"]
+        assert clusters and all(r["cluster"] == "c0" for r in clusters)
+        counters = clusters[-1]["state"]["counters"]
+        assert counters["retrains_run"] > 0
+        assert counters["warm_starts"] >= 1  # later members inherit
+
+        state = json.loads((tmp_path / "state.json").read_text())
+        assert state["sharing"]["policy"] == "cluster"
+        assert state["sharing"]["clusters"] == ["c0"]
+        assert all(
+            s["cluster"] == "c0" for s in state["streams"].values()
+        )
+        assert all(s["retired"] for s in state["streams"].values())
+        assert service.journal.clusters.keys() == {"c0"}
+
+    def test_resume_replays_clusters_without_recompute(self, tmp_path):
+        self.serve(tmp_path)
+        before = window_records(tmp_path)
+        service = self.serve(tmp_path)  # same dir: pure replay
+        after = window_records(tmp_path)
+        assert after == before
+        assert service.journal.clusters.keys() == {"c0"}
+        # Replay did not append new window records.
+        lines = session_path(tmp_path).read_text().splitlines()
+        windows = [
+            line for line in lines
+            if json.loads(line).get("kind") == "window"
+        ]
+        assert len(windows) == len(before)
+
+    def test_shared_journal_refuses_independent_resume(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        self.serve(tmp_path)
+        config = ServiceConfig(out_dir=tmp_path, window_s=60.0)
+        with pytest.raises(ConfigurationError, match="different session"):
+            FleetService(config, list(SHARED_CELLS)).run()
+
+
+class TestAdmissionControl:
+    def start_service(self, tmp_path):
+        # degrade=False pins ladders wherever the test sets them -- the
+        # supervisor cannot race a manual SHED back to NORMAL.
+        config = ServiceConfig(
+            out_dir=tmp_path,
+            window_s=10.0,
+            control_port=0,
+            stay=True,
+            degrade=False,
+        )
+        service = FleetService(config)
+        thread = threading.Thread(target=service.run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if service.control is not None and service.control.port:
+                try:
+                    if control_request(service.control.port, "/health")["ok"]:
+                        return service, thread
+                except OSError:
+                    pass
+            time.sleep(0.02)
+        raise AssertionError("control plane never came up")
+
+    @staticmethod
+    def raw_admit(port, payload):
+        from http.client import HTTPConnection
+
+        conn = HTTPConnection("127.0.0.1", port, timeout=30.0)
+        try:
+            conn.request(
+                "POST",
+                "/admit",
+                body=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+    def test_admit_returns_503_while_shedding(self, tmp_path):
+        from repro.service.degrade import DegradeLevel
+
+        first = {
+            "system": "DaCapo-Ekya",
+            "pair": "resnet18_wrn50",
+            "scenario": "S1",
+            "seed": 0,
+            "duration_s": 600.0,
+        }
+        second = dict(first, scenario="S4")
+        service, thread = self.start_service(tmp_path)
+        port = service.control.port
+        try:
+            status, admitted = self.raw_admit(port, first)
+            assert status == 200 and admitted["ok"], admitted
+            key = admitted["stream"]
+
+            service.streams[key].ladder.level = DegradeLevel.SHED
+
+            # A *new* stream is refused with a typed 503 while any live
+            # stream is shedding...
+            status, refused = self.raw_admit(port, second)
+            assert status == 503, refused
+            assert refused == {
+                "ok": False,
+                "refused": True,
+                "error": refused["error"],
+            }
+            assert "overloaded" in refused["error"]
+            assert key in refused["error"]
+
+            # ...but re-admitting a known key stays idempotent (it adds
+            # no load), and recovery reopens the door.
+            status, again = self.raw_admit(port, first)
+            assert status == 200 and again["ok"] and again["stream"] == key
+
+            service.streams[key].ladder.level = DegradeLevel.NORMAL
+            status, now_ok = self.raw_admit(port, second)
+            assert status == 200 and now_ok["ok"], now_ok
+
+            for payload in (first, second):
+                retired = control_request(
+                    port, "/retire", {"stream": now_ok["stream"]
+                                      if payload is second else key}
+                )
+                assert retired["ok"]
+            drained = control_request(port, "/drain", {})
+            assert drained["ok"]
+        finally:
+            if thread.is_alive():
+                try:
+                    control_request(port, "/drain", {})
+                except OSError:
+                    pass
+        thread.join(timeout=120.0)
+        assert not thread.is_alive()

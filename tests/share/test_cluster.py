@@ -1,0 +1,100 @@
+"""Clustering stability: permutations, work-profile walls, the tracker."""
+
+import itertools
+
+from repro.exec.shard import Fig2Cell, SystemCell
+from repro.share.cluster import ClusterTracker, cluster_cells
+from repro.share.policy import CLUSTER
+
+
+def correlated_fleet():
+    return [
+        SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", s, 240.0)
+        for s in range(4)
+    ]
+
+
+class TestBatchClustering:
+    def test_correlated_cameras_form_one_cluster(self):
+        cells = correlated_fleet()
+        assignment = cluster_cells(cells, CLUSTER)
+        assert len(assignment.clusters) == 1
+        grouped = assignment.cluster_cells_of(cells)
+        assert len(grouped["c0"]) == 4
+
+    def test_permutation_stable(self):
+        # Satellite contract: camera order in the spec must not change
+        # cluster membership or ids.
+        cells = correlated_fleet() + [
+            SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S1", 0,
+                       240.0),
+            SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "ES1", 0,
+                       180.0),
+        ]
+        baseline = cluster_cells(cells, CLUSTER)
+        base_map = {
+            (c.scenario, c.seed): baseline.cluster_of(c) for c in cells
+        }
+        for perm in itertools.islice(itertools.permutations(cells), 0, 40, 7):
+            shuffled = cluster_cells(list(perm), CLUSTER)
+            assert {
+                (c.scenario, c.seed): shuffled.cluster_of(c) for c in perm
+            } == base_map
+
+    def test_work_profiles_never_merge(self):
+        # Identical scenario/duration but different systems (or pairs, or
+        # cell kinds) must not share weights -- they run different models.
+        cells = [
+            SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", 0,
+                       240.0),
+            SystemCell("DaCapo-Ekya", "resnet18_wrn50", "S4", 0, 240.0),
+            SystemCell("DaCapo-Spatiotemporal", "vit32_wrn50", "S4", 0,
+                       240.0),
+            Fig2Cell("student", "RTX3090", "resnet18_wrn50", "S4", 0, 240.0),
+        ]
+        assignment = cluster_cells(cells, CLUSTER)
+        ids = [assignment.cluster_of(cell) for cell in cells]
+        assert len(set(ids)) == 4
+
+    def test_distinct_scenarios_split(self):
+        cells = [
+            SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S1", 0,
+                       240.0),
+            SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "ES2", 0,
+                       240.0),
+        ]
+        assignment = cluster_cells(cells, CLUSTER)
+        assert (
+            assignment.cluster_of(cells[0])
+            != assignment.cluster_of(cells[1])
+        )
+
+
+class TestTracker:
+    def test_matches_batch_for_same_members(self):
+        cells = correlated_fleet()
+        tracker = ClusterTracker(CLUSTER)
+        ids = [tracker.assign(cell) for cell in cells]
+        assert ids == ["c0"] * 4
+        batch = cluster_cells(cells, CLUSTER)
+        assert batch.cluster_of(cells[0]) == "c0"
+
+    def test_admission_order_ids(self):
+        a = SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S1", 0,
+                       240.0)
+        b = SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "ES2", 0,
+                       240.0)
+        tracker = ClusterTracker(CLUSTER)
+        assert tracker.assign(a) == "c0"
+        assert tracker.assign(b) == "c1"
+        assert tracker.assign(a) == "c0"  # idempotent re-admit
+        # A replay in the same order reproduces identical ids.
+        replay = ClusterTracker(CLUSTER)
+        assert [replay.assign(a), replay.assign(b)] == ["c0", "c1"]
+
+    def test_profile_wall_holds_incrementally(self):
+        tracker = ClusterTracker(CLUSTER)
+        a = SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", 0,
+                       240.0)
+        b = SystemCell("DaCapo-Ekya", "resnet18_wrn50", "S4", 0, 240.0)
+        assert tracker.assign(a) != tracker.assign(b)

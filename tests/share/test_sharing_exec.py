@@ -1,0 +1,133 @@
+"""The sharing bit-identity contract, both paths, through the executor.
+
+Two frozen sections (``tests/reference/digests_sharing.json``):
+
+- ``independent``: the default off-path over the reference fleet must
+  stay byte-identical to the historical executor -- sharing machinery is
+  opt-in and its *absence* is digest-pinned.
+- ``shared``: the cluster path is deterministic too (a cluster's cells
+  are co-located and run sequentially), so its digests are frozen with
+  the same severity.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import execute_cells
+from repro.exec.backends import resolve_backend
+from repro.exec.shard import (
+    ShardSpec,
+    cell_key,
+    run_spec_cells,
+    shard_key,
+)
+from repro.reference import run_digest
+from repro.share.policy import CLUSTER, use_sharing
+from repro.share.reference import (
+    run_shared_cells,
+    sharing_reference_cells,
+    sharing_reference_path,
+)
+
+POLICY = "float64"
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    path = sharing_reference_path()
+    assert path.is_file(), f"missing reference file {path}"
+    payload = json.loads(path.read_text())
+    assert payload["policy"] == POLICY
+    return payload["digests"]
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return sharing_reference_cells()
+
+
+@pytest.fixture(scope="module")
+def shared_run(fleet):
+    return run_shared_cells(fleet)
+
+
+class TestOffPath:
+    def test_independent_digests_match_frozen(self, frozen, fleet):
+        # The default path: no sharing context, plain executor.
+        backend, workers, owned = resolve_backend("serial", 1, len(fleet))
+        try:
+            results = execute_cells(fleet, backend=backend, workers=workers)
+        finally:
+            if owned:
+                backend.close()
+        computed = {
+            cell_key(POLICY, cell): run_digest(result)
+            for cell, result in zip(fleet, results)
+        }
+        assert computed == frozen["independent"]
+
+
+class TestSharedPath:
+    def test_shared_digests_match_frozen(self, frozen, fleet, shared_run):
+        results, _ = shared_run
+        computed = {
+            cell_key(POLICY, cell): run_digest(result)
+            for cell, result in zip(fleet, results)
+        }
+        assert computed == frozen["shared"]
+
+    def test_founder_is_bit_identical_to_independent(
+        self, frozen, fleet
+    ):
+        # The cluster founder adopts nothing -- it publishes.  Its result
+        # is therefore byte-equal to its independent run; only later
+        # members diverge (they inherit the founder's learning).
+        founder = cell_key(POLICY, fleet[0])
+        assert frozen["shared"][founder] == frozen["independent"][founder]
+        later = cell_key(POLICY, fleet[1])
+        assert frozen["shared"][later] != frozen["independent"][later]
+
+    def test_counters_show_realized_reuse(self, shared_run):
+        _, runtimes = shared_run
+        assert set(runtimes) == {"c0"}
+        counters = runtimes["c0"].counters
+        assert counters["labels_shared"] > 0
+        assert counters["retrains_reused"] > 0
+        assert counters["warm_starts"] == 3  # every member but the founder
+        # Reuse must dominate: three of four cameras ride the founder.
+        assert counters["labels_shared"] > counters["labels_computed"]
+
+    def test_shard_spec_path_matches(self, frozen, fleet):
+        # The worker-side entry point (what every backend executes) must
+        # produce the same frozen digests as the direct runtime path.
+        spec = ShardSpec(
+            key=shard_key(POLICY, fleet),
+            cells=tuple(fleet),
+            indices=tuple(range(len(fleet))),
+            policy=POLICY,
+            sharing="cluster",
+        )
+        with use_sharing(CLUSTER):
+            results, run_snapshot, cluster_state = run_spec_cells(spec)
+        assert run_snapshot is None and cluster_state is None
+        computed = {
+            cell_key(POLICY, cell): run_digest(result)
+            for cell, result in zip(fleet, results)
+        }
+        assert computed == frozen["shared"]
+
+    def test_cluster_state_emitted_for_single_cell(self, fleet):
+        spec = ShardSpec(
+            key=shard_key(POLICY, fleet[:1]),
+            cells=tuple(fleet[:1]),
+            indices=(0,),
+            policy=POLICY,
+            sharing="cluster",
+            emit_cluster_state=True,
+        )
+        with use_sharing(CLUSTER):
+            _, _, cluster_state = run_spec_cells(spec)
+        assert cluster_state is not None
+        assert cluster_state["cluster"] == "c0"
+        assert cluster_state["counters"]["retrains_run"] > 0
