@@ -152,6 +152,21 @@ def _sharing_context(cli_value: str | None, spec_value: str | None):
     return use_sharing(resolve_sharing(chosen))
 
 
+def _batch_context(cli_value: str | None):
+    """The batching override a command runs under.
+
+    Precedence: explicit ``--batch`` > ambient (``$REPRO_BATCH`` / off,
+    which needs no override installed).
+    """
+    from contextlib import nullcontext
+
+    from repro.batching import resolve_batching, use_batching
+
+    if cli_value is None:
+        return nullcontext()
+    return use_batching(resolve_batching(cli_value))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     plan = compile_plan(spec)
@@ -160,7 +175,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Same contract as run_cells; checked here so --plan rejects an
         # invalid --jobs too instead of silently pricing at one worker.
         raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
-    with _sharing_context(args.sharing, spec.sharing):
+    with _sharing_context(args.sharing, spec.sharing), _batch_context(
+        args.batch
+    ):
         if args.plan:
             # Price the plan through the same backend resolution the real
             # run uses (explicit --backend > ambient REPRO_BACKEND >
@@ -234,7 +251,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     with use_policy(group.policy), _sharing_context(
         args.sharing, spec.sharing
-    ):
+    ), _batch_context(args.batch):
         service = FleetService(config, cells)
         code = service.run()
     print(f"session journal: {args.out}/session.jsonl")
@@ -329,6 +346,12 @@ def main(argv: list[str] | None = None) -> int:
                          help="cross-camera sharing policy (off/cluster); "
                               "overrides the spec's [sweep] sharing and "
                               "$REPRO_SHARING")
+    p_sweep.add_argument("--batch", default=None, metavar="POLICY",
+                         help="batched multi-cell execution (off/on): "
+                              "advance geometry-compatible cells in "
+                              "lockstep, K cells per numpy call, with "
+                              "bit-identical per-cell results; overrides "
+                              "$REPRO_BATCH")
     p_sweep.add_argument("--resume", action="store_true",
                          help="skip shards already recorded in the "
                               "completion journal under --out DIR "
@@ -382,6 +405,12 @@ def main(argv: list[str] | None = None) -> int:
                          help="cross-camera sharing policy (off/cluster); "
                               "overrides the spec's [sweep] sharing and "
                               "$REPRO_SHARING")
+    p_serve.add_argument("--batch", default=None, metavar="POLICY",
+                         help="batched multi-cell execution (off/on): "
+                              "co-windowed same-geometry streams "
+                              "dispatch as one batched shard instead of "
+                              "K singletons, bit-identically; overrides "
+                              "$REPRO_BATCH")
     p_serve.add_argument("--window-mode", default=None,
                          choices=["incremental", "prefix"],
                          help="incremental (default; resume each window "

@@ -74,11 +74,16 @@ from repro.exec.shard import (
     ShardResult,
     ShardSpec,
     SystemCell,
+    batch_signature,
+    cell_batch_key,
     cell_key,
     cell_label,
     execute_shard,
     make_shard_specs,
+    note_shard_observation,
+    observed_cost,
     plan_shards,
+    reset_observed_costs,
     run_cell,
     run_cell_incremental,
     run_shard_cells,
@@ -118,6 +123,8 @@ __all__ = [
     "WORKER_CMD_ENV",
     "active_backend_spec",
     "backoff_delay",
+    "batch_signature",
+    "cell_batch_key",
     "cell_key",
     "cell_label",
     "execute_cells",
@@ -125,8 +132,11 @@ __all__ = [
     "load_plan",
     "make_backend",
     "make_shard_specs",
+    "note_shard_observation",
+    "observed_cost",
     "parse_backend",
     "plan_shards",
+    "reset_observed_costs",
     "queue_worker_main",
     "resolve_backend",
     "run_cell",

@@ -43,6 +43,7 @@ import shlex
 import subprocess
 import sys
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -138,14 +139,22 @@ class SerialBackend:
     ) -> list:
         outcomes = []
         for spec in specs:
+            started = time.perf_counter()
             with use_policy(spec.policy):
-                results, run_snapshot, cluster_state = run_spec_cells(spec)
+                (
+                    results,
+                    run_snapshot,
+                    snapshots,
+                    cluster_state,
+                ) = run_spec_cells(spec)
             outcomes.append(
                 ShardResult(
                     key=spec.key,
                     results=tuple(results),
                     snapshot=run_snapshot,
                     cluster_state=cluster_state,
+                    snapshots=snapshots,
+                    wall_s=time.perf_counter() - started,
                 )
             )
         return outcomes
@@ -157,16 +166,22 @@ class SerialBackend:
 def _pool_run_shard(spec: ShardSpec) -> tuple:
     """Pool-worker entry point (module-level so it pickles)."""
     faults.on_claim(spec.key)
-    results, profile_snapshot, run_snapshot, cluster_state = execute_shard(
-        spec
-    )
+    started = time.perf_counter()
+    (
+        results,
+        profile_snapshot,
+        run_snapshot,
+        snapshots,
+        cluster_state,
+    ) = execute_shard(spec)
+    wall_s = time.perf_counter() - started
     # Pool replies are in-process Python objects, not encoded bytes, so
     # there are no bytes to garble: a ``corrupt-result`` firing drops the
     # last per-cell result instead, which the parent's length-vs-spec
     # check must reject before anything reaches a journal.
     if faults.reply_fault(spec.key) is not None:
         results = results[:-1]
-    return results, profile_snapshot, run_snapshot, cluster_state
+    return results, profile_snapshot, run_snapshot, snapshots, cluster_state, wall_s
 
 
 class ProcessPoolBackend:
@@ -207,7 +222,9 @@ class ProcessPoolBackend:
                     results,
                     profile_snapshot,
                     run_snapshot,
+                    snapshots,
                     cluster_state,
+                    wall_s,
                 ) = future.result()
             except BrokenProcessPool as exc:
                 broken = True
@@ -258,6 +275,8 @@ class ProcessPoolBackend:
                         profile=profile_snapshot,
                         snapshot=run_snapshot,
                         cluster_state=cluster_state,
+                        snapshots=snapshots,
+                        wall_s=wall_s,
                     )
                 )
         if broken:

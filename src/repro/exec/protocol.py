@@ -22,10 +22,14 @@ Message kinds (every message carries ``"v": PROTOCOL_VERSION``):
 - ``hello``    worker -> parent, once at startup: ``{pid}``.  The parent
   rejects a version mismatch before dispatching anything.
 - ``shard``    parent -> worker: ``{id, cells, policy, profile,
-  cache_root}`` plus, for incremental windows only, the additive
-  ``snapshot`` (resume state) and ``emit_snapshot`` fields.
+  cache_root}`` plus additive opt-in fields -- ``snapshot`` /
+  ``emit_snapshot`` (incremental windows), ``sharing`` /
+  ``cluster_state`` / ``emit_cluster_state`` (cross-camera sharing),
+  ``batch`` / ``snapshots`` / ``emit_snapshots`` (batched execution) --
+  each omitted when unset.
 - ``result``   worker -> parent: ``{id, results, profile}`` plus, when
-  the shard emitted one, ``snapshot``.
+  set, ``snapshot``, ``cluster_state``, per-cell ``snapshots``, and the
+  worker's observed ``wall_s``.
 - ``error``    worker -> parent: the shard raised; ``{id, error,
   traceback}``.  The worker stays alive and keeps serving.
 - ``shutdown`` parent -> worker: drain and exit 0.
@@ -236,6 +240,12 @@ def encode_shard_request(spec: ShardSpec) -> dict:
         message["cluster_state"] = spec.cluster_state
     if spec.emit_cluster_state:
         message["emit_cluster_state"] = True
+    if spec.batch != "off":
+        message["batch"] = spec.batch
+    if spec.snapshots is not None:
+        message["snapshots"] = list(spec.snapshots)
+    if spec.emit_snapshots is not None:
+        message["emit_snapshots"] = list(spec.emit_snapshots)
     return message
 
 
@@ -259,6 +269,17 @@ def decode_shard_spec(message: dict) -> ShardSpec:
         sharing=str(message.get("sharing", "off")),
         cluster_state=message.get("cluster_state"),
         emit_cluster_state=bool(message.get("emit_cluster_state", False)),
+        batch=str(message.get("batch", "off")),
+        snapshots=(
+            tuple(message["snapshots"])
+            if message.get("snapshots") is not None
+            else None
+        ),
+        emit_snapshots=(
+            tuple(bool(flag) for flag in message["emit_snapshots"])
+            if message.get("emit_snapshots") is not None
+            else None
+        ),
     )
 
 
@@ -269,8 +290,15 @@ def encode_shard_result(
     snapshot: dict | None = None,
     *,
     cluster_state: dict | None = None,
+    snapshots: tuple | None = None,
+    wall_s: float | None = None,
 ) -> dict:
-    """The ``result`` message for one completed shard."""
+    """The ``result`` message for one completed shard.
+
+    ``snapshots`` (per-cell, batched service shards) and ``wall_s`` (the
+    worker's observed execution time, feeding the planner's cost weights)
+    are additive and omitted when unset, like every extension field.
+    """
     message = {
         "v": PROTOCOL_VERSION,
         "kind": "result",
@@ -282,6 +310,10 @@ def encode_shard_result(
         message["snapshot"] = snapshot
     if cluster_state is not None:
         message["cluster_state"] = cluster_state
+    if snapshots is not None:
+        message["snapshots"] = list(snapshots)
+    if wall_s is not None:
+        message["wall_s"] = float(wall_s)
     return message
 
 
@@ -295,6 +327,12 @@ def decode_shard_result(message: dict) -> ShardResult:
         profile=message.get("profile"),
         snapshot=message.get("snapshot"),
         cluster_state=message.get("cluster_state"),
+        snapshots=(
+            tuple(message["snapshots"])
+            if message.get("snapshots") is not None
+            else None
+        ),
+        wall_s=message.get("wall_s"),
     )
 
 

@@ -361,15 +361,19 @@ def queue_worker_main(
                         os.environ[CACHE_ENV] = baseline_cache_root
                     else:
                         os.environ.pop(CACHE_ENV, None)
+                    started = time.perf_counter()
                     (
                         results,
                         profile_snapshot,
                         run_snapshot,
+                        snapshots,
                         cluster_state,
                     ) = execute_shard(spec)
+                    wall_s = time.perf_counter() - started
                     reply = protocol.encode_shard_result(
                         key, results, profile_snapshot, run_snapshot,
-                        cluster_state=cluster_state,
+                        cluster_state=cluster_state, snapshots=snapshots,
+                        wall_s=wall_s,
                     )
                     reply["worker"] = worker_id
                     mode = faults.reply_fault(key)

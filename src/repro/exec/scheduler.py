@@ -69,6 +69,7 @@ from repro.exec.shard import (
     ShardSpec,
     cell_key,
     make_shard_specs,
+    note_shard_observation,
     warm_model_caches,
 )
 from repro.numeric import active_policy
@@ -231,6 +232,10 @@ class Scheduler:
                     )
                 if isinstance(outcome, ShardResult):
                     outcomes[entry.index] = outcome
+                    # Feed the observed wall back into the planner's cost
+                    # model: the next plan_shards() balances by measured
+                    # per-cell cost instead of the uniform default.
+                    note_shard_observation(spec, outcome.wall_s)
                     if self.on_complete is not None:
                         self.on_complete(spec, outcome)
                     continue

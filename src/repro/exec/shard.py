@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro import profiling
+from repro.batching import active_batching, resolve_batching, use_batching
 from repro.core.results import RunResult
 from repro.core.snapshot import (
     decode_run_snapshot,
@@ -60,12 +61,17 @@ __all__ = [
     "ShardResult",
     "ShardSpec",
     "SystemCell",
+    "batch_signature",
+    "cell_batch_key",
     "cell_key",
     "cell_label",
     "consume_fault_token",
     "execute_shard",
     "make_shard_specs",
+    "note_shard_observation",
+    "observed_cost",
     "plan_shards",
+    "reset_observed_costs",
     "run_cell",
     "run_cell_incremental",
     "run_shard_cells",
@@ -258,6 +264,70 @@ def stream_signature(cell) -> tuple:
     return (cell.scenario, cell.seed, cell.duration_s)
 
 
+def batch_signature(cell) -> tuple:
+    """The geometry key deciding which cells may share a batch group.
+
+    Cells with one signature run the same model pair (hence identical
+    weight geometry and stacked-kernel compatibility), so the batched
+    planner co-shards them and the lockstep conductor can stack their
+    identically-shaped requests.  The signature deliberately ignores
+    system, scenario, seed, and duration: grouping is purely a
+    performance decision -- the conductor only ever stacks requests whose
+    shapes actually agree, so a coarse group can never change results,
+    only how often stacking engages.
+    """
+    if isinstance(cell, Fig2Cell):
+        return ("fig2", cell.kind, cell.platform, cell.pair)
+    return ("system", cell.pair)
+
+
+def cell_batch_key(policy_name: str, cell) -> tuple:
+    """A cell's full batch-compatibility key, including its policy.
+
+    Cells under different numeric policies must never co-batch (their
+    models carry different dtypes); the planner gets this for free --
+    shards are planned per policy group -- but the service and tests use
+    this key to make the exclusion explicit.
+    """
+    return (policy_name,) + batch_signature(cell)
+
+
+# -- observed shard costs (the learned-scheduling seed) --------------------
+#
+# The scheduler reports each completed shard's wall time back here
+# (:func:`note_shard_observation`); the planner's split loop then weighs
+# shards by observed per-cell cost instead of cell count.  With no
+# observations every cell weighs 1.0 and the split sequence is provably
+# the historical one.  Per-process state, deliberately: each sweep's
+# parent learns from its own completed shards.
+
+_observed_costs: dict[str, float] = {}
+
+
+def note_shard_observation(spec: "ShardSpec", wall_s: float | None) -> None:
+    """Record a completed shard's wall seconds as per-cell cost weights."""
+    if wall_s is None or wall_s <= 0.0 or not spec.cells:
+        return
+    per_cell = wall_s / len(spec.cells)
+    for cell in spec.cells:
+        _observed_costs[cell_key(spec.policy, cell)] = per_cell
+
+
+def observed_cost(key: str) -> float:
+    """The learned cost weight of one cell key (1.0 until observed)."""
+    return _observed_costs.get(key, 1.0)
+
+
+def reset_observed_costs() -> None:
+    """Forget all observed costs (tests; a fresh sweep learns its own)."""
+    _observed_costs.clear()
+
+
+def _shard_weight(shard: list[tuple[int, object]]) -> float:
+    policy = active_policy().name
+    return sum(observed_cost(cell_key(policy, cell)) for _, cell in shard)
+
+
 def plan_shards(
     cells: Sequence, jobs: int
 ) -> list[list[tuple[int, object]]]:
@@ -281,8 +351,21 @@ def plan_shards(
     must co-locate on one shard so label/weight reuse happens in-process.
     The grouping is a pure function of the cell set and the policy, so it
     is identical at every ``jobs`` count.
+
+    Under an enabled batching policy (:func:`repro.batching.active_batching`)
+    cells group by :func:`batch_signature` instead of stream signature, so
+    geometry-compatible cells land on one shard and the lockstep conductor
+    can stack their numpy work; with sharing *also* on, same-geometry
+    clusters merge onto one shard (cluster granularity preserved) so
+    whole clusters batch against each other.  Either way results are
+    bit-identical -- grouping only decides how often stacking engages.
+
+    The split loop weighs shards by observed per-cell cost
+    (:func:`note_shard_observation`); unobserved cells weigh 1.0, making
+    the default split sequence exactly the historical count-based one.
     """
     sharing = active_sharing()
+    batching = active_batching()
     if sharing.enabled:
         assignment = cluster_cells(cells, sharing)
         clustered: dict[str, list[tuple[int, object]]] = {}
@@ -290,16 +373,31 @@ def plan_shards(
             clustered.setdefault(assignment.cluster_of(cell), []).append(
                 (index, cell)
             )
-        return list(clustered.values())
+        if not batching.enabled:
+            return list(clustered.values())
+        merged: dict[tuple, list[tuple[int, object]]] = {}
+        for cluster in clustered.values():
+            merged.setdefault(batch_signature(cluster[0][1]), []).extend(
+                cluster
+            )
+        return list(merged.values())
     groups: dict[tuple, list[tuple[int, object]]] = {}
     for index, cell in enumerate(cells):
-        groups.setdefault(stream_signature(cell), []).append((index, cell))
+        if batching.enabled:
+            groups.setdefault(batch_signature(cell), []).append(
+                (index, cell)
+            )
+        else:
+            groups.setdefault(stream_signature(cell), []).append(
+                (index, cell)
+            )
     shards = list(groups.values())
     target = min(jobs, len(cells))
     while len(shards) < target:
-        largest = max(range(len(shards)), key=lambda i: len(shards[i]))
-        if len(shards[largest]) <= 1:
+        splittable = [i for i in range(len(shards)) if len(shards[i]) > 1]
+        if not splittable:
             break
+        largest = max(splittable, key=lambda i: _shard_weight(shards[i]))
         shard = shards.pop(largest)
         shards.extend([shard[::2], shard[1::2]])
     return shards
@@ -355,6 +453,13 @@ class ShardSpec:
             learning; requires a single-cell shard).
         emit_cluster_state: Ship the shard's final cluster state back on
             the result (requires a single-cell shard).
+        batch: Batching policy *name* -- explicit for the same reason
+            ``policy`` is.  ``"off"`` (the default) is the bit-identical
+            per-cell path.
+        snapshots: Per-cell resume snapshots for a *batched* multi-cell
+            shard (the service coalescing K co-windowed streams into one
+            shard); aligned with ``cells``, entries may be None.
+        emit_snapshots: Per-cell emit flags matching ``snapshots``.
     """
 
     key: str
@@ -368,17 +473,28 @@ class ShardSpec:
     sharing: str = "off"
     cluster_state: dict | None = None
     emit_cluster_state: bool = False
+    batch: str = "off"
+    snapshots: tuple | None = None
+    emit_snapshots: tuple | None = None
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """A completed shard: per-cell results, profile, and run snapshot."""
+    """A completed shard: per-cell results, profile, and run snapshot.
+
+    ``snapshots`` carries per-cell final snapshots for batched multi-cell
+    service shards (aligned with the spec's cells); ``wall_s`` is the
+    worker-observed execution wall time, which the scheduler feeds back
+    into the planner's cost weights.
+    """
 
     key: str
     results: tuple
     profile: dict | None = None
     snapshot: dict | None = None
     cluster_state: dict | None = None
+    snapshots: tuple | None = None
+    wall_s: float | None = None
 
 
 class ShardFailure(ExecutionError):
@@ -487,15 +603,18 @@ def make_shard_specs(
     profile: bool = False,
     cache_root: str | None = None,
     sharing: str | None = None,
+    batch: str | None = None,
 ) -> list[ShardSpec]:
     """Plan ``cells`` into :class:`ShardSpec`\\ s for ``jobs`` workers.
 
-    ``sharing`` defaults to the ambient policy's name so specs carry it
-    explicitly to spawn-started and remote workers, exactly like the
-    numeric policy.
+    ``sharing`` and ``batch`` default to the ambient policies' names so
+    specs carry them explicitly to spawn-started and remote workers,
+    exactly like the numeric policy.
     """
     if sharing is None:
         sharing = active_sharing().name
+    if batch is None:
+        batch = active_batching().name
     specs = []
     for shard in plan_shards(cells, jobs):
         shard_cells = tuple(cell for _, cell in shard)
@@ -508,6 +627,7 @@ def make_shard_specs(
                 profile=profile,
                 cache_root=cache_root,
                 sharing=sharing,
+                batch=batch,
             )
         )
     return specs
@@ -549,6 +669,11 @@ def _run_cells_shared(
     warm starts, and deltas all shared.  Service shards carry one window
     cell plus the cluster's journaled weight state (``spec.cluster_state``)
     and ship the updated state back on the result.
+
+    With batching also enabled and several clusters on the shard, each
+    cluster becomes one lockstep *lane*: its cells still run sequentially
+    through their own runtime (preserving the sharing digests' ordering),
+    while the clusters' numpy work batches against each other.
     """
     incremental = spec.snapshot is not None or spec.emit_snapshot
     stateful = spec.cluster_state is not None or spec.emit_cluster_state
@@ -562,7 +687,44 @@ def _run_cells_shared(
     if spec.cluster_state is not None:
         cid = assignment.cluster_of(spec.cells[0])
         runtimes[cid] = decode_cluster_state(spec.cluster_state, sharing)
-    results: list[RunResult] = []
+
+    clustered: dict[str, list[tuple[int, object]]] = {}
+    for position, cell in enumerate(spec.cells):
+        clustered.setdefault(assignment.cluster_of(cell), []).append(
+            (position, cell)
+        )
+    batching = resolve_batching(spec.batch)
+    if batching.enabled and len(clustered) > 1 and not (
+        incremental or stateful
+    ):
+        from repro.exec.batched import run_lane_jobs
+
+        warm_model_caches(spec.cells)
+        for cid in clustered:
+            if cid not in runtimes:
+                runtimes[cid] = ClusterRuntime(sharing, cid)
+
+        def cluster_job(cid: str, members: list[tuple[int, object]]):
+            runtime = runtimes[cid]
+            out = []
+            for position, cell in members:
+                with runtime.activate(cell):
+                    out.append((position, run_cell(cell)))
+            return out
+
+        lane_results = run_lane_jobs(
+            [
+                (lambda cid=cid, members=members: cluster_job(cid, members))
+                for cid, members in clustered.items()
+            ]
+        )
+        results = [None] * len(spec.cells)
+        for lane in lane_results:
+            for position, result in lane:
+                results[position] = result
+        return results, None, None
+
+    results = []
     run_snapshot: dict | None = None
     for cell in spec.cells:
         cid = assignment.cluster_of(cell)
@@ -586,19 +748,38 @@ def _run_cells_shared(
 
 def run_spec_cells(
     spec: ShardSpec,
-) -> tuple[list[RunResult], dict | None, dict | None]:
+) -> tuple[list[RunResult], dict | None, dict | None, dict | None]:
     """Execute a spec's cells under the ambient policy/profiler.
 
-    Returns ``(results, run_snapshot, cluster_state)``.  Incremental specs
-    (a resume snapshot and/or ``emit_snapshot``) must carry exactly one
-    cell -- a snapshot names one run's state, and the service dispatches
-    one window per shard by construction.  Sharing-enabled specs route
-    through per-cluster runtimes; the default off-path below is byte-for-
-    byte the historical independent execution.
+    Returns ``(results, run_snapshot, snapshots, cluster_state)`` --
+    ``run_snapshot`` for the single-cell incremental contract,
+    ``snapshots`` (per-cell, aligned with ``spec.cells``) for batched
+    multi-cell service shards.  Incremental specs (a resume snapshot
+    and/or ``emit_snapshot``) must carry exactly one cell -- a snapshot
+    names one run's state -- unless batching supplies the per-cell
+    ``spec.snapshots``/``spec.emit_snapshots`` carriers.  Sharing-enabled
+    specs route through per-cluster runtimes; the default off-path below
+    is byte-for-byte the historical independent execution.
     """
     sharing = resolve_sharing(spec.sharing)
     if sharing.enabled:
-        return _run_cells_shared(spec, sharing)
+        results, run_snapshot, cluster_state = _run_cells_shared(
+            spec, sharing
+        )
+        return results, run_snapshot, None, cluster_state
+    batching = resolve_batching(spec.batch)
+    if batching.enabled and len(spec.cells) > 1:
+        from repro.exec.batched import run_cells_batched
+
+        pairs = run_cells_batched(
+            spec.cells,
+            snapshots=spec.snapshots,
+            emit_snapshots=spec.emit_snapshots,
+        )
+        results = [result for result, _ in pairs]
+        if spec.snapshots is None and spec.emit_snapshots is None:
+            return results, None, None, None
+        return results, None, tuple(snap for _, snap in pairs), None
     if spec.snapshot is not None or spec.emit_snapshot:
         if len(spec.cells) != 1:
             raise ConfigurationError(
@@ -608,27 +789,41 @@ def run_spec_cells(
         result, snapshot = run_cell_incremental(
             spec.cells[0], spec.snapshot, spec.emit_snapshot
         )
-        return [result], snapshot, None
-    return [run_cell(cell) for cell in spec.cells], None, None
+        return [result], snapshot, None, None
+    return [run_cell(cell) for cell in spec.cells], None, None, None
 
 
 def execute_shard(
     spec: ShardSpec,
-) -> tuple[list[RunResult], dict | None, dict | None, dict | None]:
+) -> tuple[
+    list[RunResult], dict | None, dict | None, tuple | None, dict | None
+]:
     """The worker-side entry point for one spec, on any transport.
 
-    Installs the spec's numeric and sharing policies, runs its cells
-    (honouring the incremental snapshot and cluster-state fields), and
-    profiles when asked.  Returns ``(results, profile_snapshot,
-    run_snapshot, cluster_state)``.
+    Installs the spec's numeric, sharing, and batching policies, runs its
+    cells (honouring the incremental snapshot and cluster-state fields),
+    and profiles when asked.  Returns ``(results, profile_snapshot,
+    run_snapshot, snapshots, cluster_state)``.
     """
-    with use_policy(spec.policy), use_sharing(spec.sharing):
+    with use_policy(spec.policy), use_sharing(spec.sharing), use_batching(
+        spec.batch
+    ):
         if not spec.profile:
-            results, run_snapshot, cluster_state = run_spec_cells(spec)
-            return results, None, run_snapshot, cluster_state
+            results, run_snapshot, snapshots, cluster_state = (
+                run_spec_cells(spec)
+            )
+            return results, None, run_snapshot, snapshots, cluster_state
         profiler = profiling.enable()
         try:
-            results, run_snapshot, cluster_state = run_spec_cells(spec)
-            return results, profiler.snapshot(), run_snapshot, cluster_state
+            results, run_snapshot, snapshots, cluster_state = (
+                run_spec_cells(spec)
+            )
+            return (
+                results,
+                profiler.snapshot(),
+                run_snapshot,
+                snapshots,
+                cluster_state,
+            )
         finally:
             profiling.disable()

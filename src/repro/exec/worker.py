@@ -25,6 +25,7 @@ import argparse
 import os
 import signal
 import sys
+import time
 import traceback
 
 from repro.cache import CACHE_ENV
@@ -159,12 +160,15 @@ def worker_main(argv: list[str] | None = None) -> int:
                     os.environ[CACHE_ENV] = baseline_cache_root
                 else:
                     os.environ.pop(CACHE_ENV, None)
+                started = time.perf_counter()
                 (
                     results,
                     profile_snapshot,
                     run_snapshot,
+                    snapshots,
                     cluster_state,
                 ) = execute_shard(spec)
+                wall_s = time.perf_counter() - started
             except Exception as exc:
                 send_error(
                     channel, message.get("id"),
@@ -174,7 +178,8 @@ def worker_main(argv: list[str] | None = None) -> int:
                 continue
             reply = protocol.encode_shard_result(
                 spec.key, results, profile_snapshot, run_snapshot,
-                cluster_state=cluster_state,
+                cluster_state=cluster_state, snapshots=snapshots,
+                wall_s=wall_s,
             )
             mode = faults.reply_fault(spec.key)
             if mode is not None:

@@ -27,6 +27,7 @@ processes, so they can legitimately exceed the parent's wall clock.
 
 from __future__ import annotations
 
+import threading
 import time
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "PRETRAIN",
     "RETRAIN",
     "Profiler",
+    "absorb",
     "active",
     "disable",
     "enable",
@@ -94,16 +96,45 @@ class _Scope:
 
 
 class Profiler:
-    """Accumulates exclusive wall seconds and entry counts per phase."""
+    """Accumulates exclusive wall seconds and entry counts per phase.
+
+    Scope nesting is tracked per thread (the batched executor runs one
+    lane thread per cell, each opening its own phase scopes) while the
+    totals are shared under a lock, so lane profiles aggregate exactly
+    like worker-process profiles do.
+    """
 
     def __init__(self) -> None:
         self.totals: dict[str, float] = {}
         self.counts: dict[str, int] = {}
-        self._stack: list[_Scope] = []
+        self._stacks = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[_Scope]:
+        """This thread's open-scope stack (created on first use)."""
+        stack = getattr(self._stacks, "value", None)
+        if stack is None:
+            stack = self._stacks.value = []
+        return stack
 
     def _add(self, name: str, seconds: float) -> None:
-        self.totals[name] = self.totals.get(name, 0.0) + seconds
-        self.counts[name] = self.counts.get(name, 0) + 1
+        with self._lock:
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def absorb(self, seconds: float) -> None:
+        """Discount ``seconds`` from this thread's innermost open scope.
+
+        The batched executor's accounting hook: a lane blocked at the
+        lockstep barrier is not doing its phase's work, so the lane shim
+        absorbs (submit wall - this cell's fair share of the batched
+        round) and the phase's exclusive total keeps measuring compute,
+        not synchronization.  No-op when no scope is open.
+        """
+        stack = self._stack
+        if stack:
+            stack[-1].child_s += seconds
 
     def scope(self, name: str) -> _Scope:
         """A context manager timing ``name`` against this profiler."""
@@ -180,3 +211,10 @@ def scope(name: str):
     if profiler is None:
         return _NULL_SCOPE
     return _Scope(profiler, name)
+
+
+def absorb(seconds: float) -> None:
+    """Discount barrier-wait seconds from the current scope, if profiling."""
+    profiler = _active
+    if profiler is not None:
+        profiler.absorb(seconds)

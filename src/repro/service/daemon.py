@@ -102,6 +102,7 @@ from repro.exec.scheduler import Scheduler
 from repro.exec.shard import (
     ShardResult,
     ShardSpec,
+    batch_signature,
     cell_key,
     cell_label,
     shard_key,
@@ -118,6 +119,7 @@ from repro.service.session import (
     session_fingerprint,
     session_path,
 )
+from repro.batching import active_batching
 from repro.share.cluster import ClusterTracker
 from repro.share.policy import active_sharing
 
@@ -256,6 +258,7 @@ class FleetService:
         self.config = config
         self.policy = active_policy().name
         self.sharing = active_sharing()
+        self.batching = active_batching()
         self._clusters = (
             ClusterTracker(self.sharing) if self.sharing.enabled else None
         )
@@ -364,6 +367,8 @@ class FleetService:
         }
         if self.sharing.enabled:
             start_detail["sharing"] = self.sharing.name
+        if self.batching.enabled:
+            start_detail["batching"] = self.batching.name
         self.journal.record_event("start", start_detail)
         for log in self.journal.active_streams():
             self._attach(log)
@@ -832,7 +837,14 @@ class FleetService:
             if item is None:
                 return
             batch = [item]
-            while len(batch) < self._workers:
+            # With batching on, co-due windows merge into one shard, so
+            # the pull cap widens from one-per-worker to everything the
+            # supervisor has released (bounded by max_inflight anyway) --
+            # a serial backend then serves K streams per dispatch.
+            limit = self._workers
+            if self.batching.enabled and not self.sharing.enabled:
+                limit = max(limit, self._max_inflight)
+            while len(batch) < limit:
                 try:
                     extra = self._jobs.get_nowait()
                 except queue_module.Empty:
@@ -841,24 +853,96 @@ class FleetService:
                     self._jobs.put(None)  # re-arm the stop sentinel
                     break
                 batch.append(extra)
-            origin = {spec.key: (key, w) for key, w, spec in batch}
-            posted: set[str] = set()
+            specs, members = self._coalesce(batch)
+            posted: set[tuple] = set()
 
             def on_complete(spec, result):
-                posted.add(spec.key)
-                self._results.put((*origin[spec.key], result))
+                for i, (key, w, member) in enumerate(members[spec.key]):
+                    posted.add((key, w))
+                    if member is spec:
+                        self._results.put((key, w, result))
+                        continue
+                    # A coalesced shard fans back out: each member
+                    # window gets a synthetic single-cell result (its
+                    # slice is bit-identical to a singleton dispatch),
+                    # so _on_fresh and the journal never see batching.
+                    snapshot = None
+                    if result.snapshots is not None:
+                        snapshot = result.snapshots[i]
+                    self._results.put(
+                        (
+                            key,
+                            w,
+                            ShardResult(
+                                key=member.key,
+                                results=(result.results[i],),
+                                snapshot=snapshot,
+                            ),
+                        )
+                    )
 
             scheduler.on_complete = on_complete
             try:
-                scheduler.run([spec for _, _, spec in batch])
+                scheduler.run(specs)
             except Exception as exc:
                 # Fatal shard failure (retries exhausted / quarantined /
                 # deterministic cell error): successes in the batch were
                 # already posted via on_complete; the rest surface as
                 # per-window failures, never as a dead dispatcher.
-                for key, w, spec in batch:
-                    if spec.key not in posted:
-                        self._results.put((key, w, exc))
+                for spec in specs:
+                    for key, w, _member in members[spec.key]:
+                        if (key, w) not in posted:
+                            self._results.put((key, w, exc))
+
+    def _coalesce(self, batch: list) -> tuple[list, dict]:
+        """Merge batch-compatible window specs into batched shards.
+
+        The service-side leg of co-windowed batching: K same-geometry
+        single-cell window specs pulled in one dispatch round become one
+        K-cell batched spec -- advanced in lockstep by the batched
+        executor -- instead of K singleton dispatches.  Grouping is a
+        performance decision only (the conductor stacks exactly the
+        shape-matching calls and runs the rest serially), so every
+        member's result stays bit-identical to a singleton dispatch.
+        Sharing keeps its own cluster lanes; with it on (or batching
+        off) nothing is merged.  Returns ``(specs, members)`` where
+        ``members`` maps each dispatched spec key to its ``(stream key,
+        window, original spec)`` entries in result order.
+        """
+        members: dict[str, list] = {}
+        specs: list[ShardSpec] = []
+        if not self.batching.enabled or self.sharing.enabled:
+            for key, w, spec in batch:
+                members[spec.key] = [(key, w, spec)]
+                specs.append(spec)
+            return specs, members
+        groups: dict[tuple, list] = {}
+        for key, w, spec in batch:
+            signature = batch_signature(spec.cells[0])
+            groups.setdefault(signature, []).append((key, w, spec))
+        for group in groups.values():
+            if len(group) == 1:
+                key, w, spec = group[0]
+                members[spec.key] = [(key, w, spec)]
+                specs.append(spec)
+                continue
+            cells = tuple(spec.cells[0] for _, _, spec in group)
+            merged = ShardSpec(
+                key=shard_key(self.policy, cells),
+                cells=cells,
+                indices=tuple(range(len(cells))),
+                policy=self.policy,
+                profile=False,
+                cache_root=os.environ.get(CACHE_ENV),
+                batch=self.batching.name,
+                snapshots=tuple(spec.snapshot for _, _, spec in group),
+                emit_snapshots=tuple(
+                    spec.emit_snapshot for _, _, spec in group
+                ),
+            )
+            members[merged.key] = list(group)
+            specs.append(merged)
+        return specs, members
 
     # -- snapshot / shutdown -------------------------------------------
 

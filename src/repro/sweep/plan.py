@@ -30,7 +30,9 @@ from repro.core.parallel import (
     plan_shards,
     stream_signature,
 )
+from repro.batching import active_batching
 from repro.data.stream import DEFAULT_DURATION_S
+from repro.exec.shard import batch_signature
 from repro.numeric import NumericPolicy, POLICIES, active_policy
 from repro.share.cluster import cluster_cells, describe_clusters
 from repro.share.policy import active_sharing
@@ -68,6 +70,12 @@ class CostEstimate:
             historical byte shape): cluster count and sizes plus the
             estimated *shared* label stream-seconds and pretrain count
             against the independent figures above.
+        batching: Batched-execution estimate, present only when a batch
+            policy is active (same off-path contract as ``sharing``):
+            batch-group assignment at the estimate's ``jobs`` plus the
+            estimated fraction of numpy dispatches saved -- per call in
+            a K-cell group the batched executor advances all K members,
+            so the dispatch bill drops from ~cells to ~groups.
     """
 
     cells: int
@@ -79,6 +87,7 @@ class CostEstimate:
     largest_shard_cells: int
     jobs: int
     sharing: dict | None = None
+    batching: dict | None = None
 
     def as_dict(self) -> dict:
         """Plain-dict form for JSON reports."""
@@ -94,6 +103,8 @@ class CostEstimate:
         }
         if self.sharing is not None:
             payload["sharing"] = self.sharing
+        if self.batching is not None:
+            payload["batching"] = self.batching
         return payload
 
 
@@ -144,6 +155,7 @@ class SweepPlan:
             largest_shard_cells=largest,
             jobs=jobs,
             sharing=self._sharing_estimate(),
+            batching=self._batching_estimate(jobs),
         )
 
     def _sharing_estimate(self) -> dict | None:
@@ -186,6 +198,43 @@ class SweepPlan:
             "pretrained_models_shared": shared_pretrains,
         }
 
+    def _batching_estimate(self, jobs: int) -> dict | None:
+        """Batch-group assignment and calls-saved (None when batching off).
+
+        Uses the executor's own shard plan -- with a batch policy active,
+        :func:`plan_shards` groups geometry-compatible cells -- so the
+        reported groups are exactly the shards ``run_cells_batched`` will
+        advance in lockstep.  Per numpy call a K-cell group serves all K
+        members, so dispatches drop from ~cells to ~groups; the realized
+        ratio is measured by ``benchmarks/bench_batched.py``.
+        """
+        batching = active_batching()
+        if not batching.enabled:
+            return None
+        jobs = max(1, jobs)
+        groups_n = 0
+        largest = 0
+        batched_cells = 0
+        singletons = 0
+        for group in self.groups:
+            for shard in plan_shards(group.cells, jobs):
+                groups_n += 1
+                largest = max(largest, len(shard))
+                if len(shard) > 1:
+                    batched_cells += len(shard)
+                else:
+                    singletons += 1
+        total = self.num_cells
+        saved = 1.0 - (groups_n / total) if total else 0.0
+        return {
+            "policy": batching.name,
+            "batch_groups": groups_n,
+            "largest_group_cells": largest,
+            "batched_cells": batched_cells,
+            "singleton_groups": singletons,
+            "est_calls_saved_frac": saved,
+        }
+
     def describe(self, jobs: int = 1) -> str:
         """Human-readable plan summary (the ``sweep --plan`` output)."""
         est = self.estimate(jobs)
@@ -221,6 +270,28 @@ class SweepPlan:
                 assignment = cluster_cells(group.cells, active_sharing())
                 for line in describe_clusters(assignment, group.cells):
                     lines.append(f"  [{group.policy.name}] {line}")
+        if est.batching is not None:
+            bt = est.batching
+            lines += [
+                f"  batching           {bt['policy']}",
+                f"  batch groups       {bt['batch_groups']} "
+                f"(largest {bt['largest_group_cells']} cells, "
+                f"{bt['singleton_groups']} singleton)",
+                "  est numpy calls    "
+                f"{bt['est_calls_saved_frac']:.0%} saved vs per-cell "
+                "dispatch",
+            ]
+            for group in self.groups:
+                for shard in plan_shards(group.cells, est.jobs):
+                    if len(shard) < 2:
+                        continue
+                    signature = "/".join(
+                        str(part) for part in batch_signature(shard[0][1])
+                    )
+                    lines.append(
+                        f"  [{group.policy.name}] batch {signature}: "
+                        f"{len(shard)} cells"
+                    )
         for group in self.groups:
             head = group.cells[: 3]
             preview = ", ".join(_cell_label(cell) for cell in head)

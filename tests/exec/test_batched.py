@@ -1,0 +1,288 @@
+"""The batched multi-cell executor: bit-identity, planning, composition.
+
+The contract under test, at every layer:
+
+- cell level: ``run_cells_batched`` reproduces the serial per-cell
+  digests exactly, K=1 degenerates to the serial code path, and the
+  frozen ``digests_batched.json`` pins the batched smoke digests to the
+  (pre-batching) float64 reference;
+- planner level: batching groups by geometry signature, mixed numeric
+  policies never share a batch key, observed shard walls re-weight the
+  split loop, and the off-path plan is byte-identical to history;
+- protocol level: the additive shard fields round-trip;
+- composition: sharing clusters batch against each other bit-identically,
+  and the service's coalesced dispatch fans back out per window.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import profiling
+from repro.batching import ON, use_batching
+from repro.errors import ConfigurationError
+from repro.exec import protocol
+from repro.exec.batched import BatchConductor, run_cells_batched
+from repro.exec.shard import (
+    ShardSpec,
+    SystemCell,
+    batch_signature,
+    cell_batch_key,
+    cell_key,
+    execute_shard,
+    note_shard_observation,
+    observed_cost,
+    plan_shards,
+    reset_observed_costs,
+    run_cell,
+    shard_key,
+    stream_signature,
+)
+from repro.numeric import active_policy, use_policy
+from repro.reference import compute_section, reference_path, run_digest
+
+POLICY = "float64"
+
+CELLS = [
+    SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", 0, 60.0),
+    SystemCell("DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", 1, 60.0),
+    SystemCell("DaCapo-Ekya", "resnet18_wrn50", "S1", 0, 60.0),
+]
+
+
+def batched_reference_path() -> Path:
+    return Path(__file__).resolve().parents[1] / "reference" / (
+        "digests_batched.json"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_costs():
+    reset_observed_costs()
+    yield
+    reset_observed_costs()
+
+
+class TestBitIdentity:
+    def test_batched_matches_serial_digests(self):
+        serial = [run_digest(run_cell(cell)) for cell in CELLS]
+        with use_batching(ON):
+            pairs = run_cells_batched(CELLS)
+        assert [run_digest(result) for result, _ in pairs] == serial
+        assert all(snapshot is None for _, snapshot in pairs)
+
+    def test_k1_is_the_serial_code_path(self, monkeypatch):
+        # A single cell must not spin up lanes or a conductor at all.
+        import repro.exec.batched as batched
+
+        def boom(jobs):
+            raise AssertionError("lane driver engaged for K=1")
+
+        monkeypatch.setattr(batched, "run_lane_jobs", boom)
+        with use_batching(ON):
+            pairs = run_cells_batched(CELLS[:1])
+        assert run_digest(pairs[0][0]) == run_digest(run_cell(CELLS[0]))
+
+    def test_snapshot_alignment_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_cells_batched(CELLS, snapshots=[None])
+
+    def test_conductor_needs_a_lane(self):
+        with pytest.raises(ConfigurationError):
+            BatchConductor(0)
+
+
+class TestDigestPin:
+    def test_frozen_file_matches_float64_reference(self):
+        # Batching must not mint its own truth: the pinned batched smoke
+        # digests are byte-equal to the serial float64 reference.
+        payload = json.loads(batched_reference_path().read_text())
+        assert payload["policy"] == POLICY and payload["batch"] == "on"
+        serial = json.loads(reference_path(POLICY).read_text())["smoke"]
+        batched = payload["smoke"]
+        cell_keys = [key for key in serial if key in batched]
+        assert cell_keys, "no overlapping smoke entries"
+        for key in batched:
+            assert batched[key]["digest"] == serial[key]["digest"]
+
+    def test_smoke_recomputes_under_batching(self):
+        payload = json.loads(batched_reference_path().read_text())
+        with use_policy(POLICY), use_batching(ON):
+            computed = compute_section("smoke")
+        for key, entry in payload["smoke"].items():
+            assert computed[key]["digest"] == entry["digest"], key
+
+
+class TestPlanner:
+    def test_signatures(self):
+        assert batch_signature(CELLS[0]) == ("system", "resnet18_wrn50")
+        # System, scenario, seed, duration are deliberately ignored.
+        assert batch_signature(CELLS[0]) == batch_signature(CELLS[2])
+
+    def test_mixed_policies_never_share_a_batch_key(self):
+        assert cell_batch_key("float64", CELLS[0]) != cell_batch_key(
+            "float32", CELLS[0]
+        )
+        assert cell_batch_key("float64", CELLS[0]) == cell_batch_key(
+            "float64", CELLS[1]
+        )
+
+    def test_off_path_plan_is_historical(self):
+        shards = plan_shards(CELLS, 1)
+        # Without batching, cells group by stream signature: the two S4
+        # seeds share one stream-signature family, S1 is its own.
+        signatures = {
+            stream_signature(shard[0][1]) for shard in shards
+        }
+        assert len(shards) == len(signatures)
+
+    def test_batching_groups_by_geometry(self):
+        with use_batching(ON):
+            shards = plan_shards(CELLS, 1)
+        assert len(shards) == 1
+        assert sorted(index for index, _ in shards[0]) == [0, 1, 2]
+
+    def test_observed_costs_weight_the_split(self):
+        # Two equal-sized stream groups (same scenario+seed, two systems
+        # each).  Uniform weights split the first-encountered group; with
+        # the second group observed as expensive, it must split instead.
+        light = [
+            SystemCell(system, "p", "S1", 0, 10.0)
+            for system in ("OrinLow-Ekya", "OrinHigh-Ekya")
+        ]
+        heavy = [
+            SystemCell(system, "p", "S4", 0, 10.0)
+            for system in ("OrinLow-Ekya", "OrinHigh-Ekya")
+        ]
+        # Observations key on the *ambient* policy at planning time.
+        policy = active_policy().name
+        spec = ShardSpec(
+            key=shard_key(policy, heavy),
+            cells=tuple(heavy),
+            indices=(0, 1),
+            policy=policy,
+        )
+        note_shard_observation(spec, 20.0)
+        assert observed_cost(cell_key(policy, heavy[0])) == 10.0
+        assert observed_cost(cell_key(policy, light[0])) == 1.0
+        shards = plan_shards(light + heavy, 3)
+        assert len(shards) == 3
+        split = [
+            shard for shard in shards
+            if len(shard) == 1 and shard[0][1].scenario == "S4"
+        ]
+        assert len(split) == 2, "the observed-heavy group did not split"
+
+    def test_observation_guards(self):
+        spec = ShardSpec(
+            key=shard_key(POLICY, CELLS[:1]),
+            cells=tuple(CELLS[:1]),
+            indices=(0,),
+            policy=POLICY,
+        )
+        note_shard_observation(spec, None)
+        note_shard_observation(spec, 0.0)
+        assert observed_cost(cell_key(POLICY, CELLS[0])) == 1.0
+
+
+class TestProtocol:
+    def test_shard_request_round_trip(self):
+        spec = ShardSpec(
+            key=shard_key(POLICY, CELLS[:2]),
+            cells=tuple(CELLS[:2]),
+            indices=(0, 1),
+            policy=POLICY,
+            batch="on",
+            snapshots=(None, {"origin_duration_s": 30.0}),
+            emit_snapshots=(True, False),
+        )
+        decoded = protocol.decode_shard_spec(
+            protocol.decode_message(
+                protocol.encode_message(protocol.encode_shard_request(spec))
+            )
+        )
+        assert decoded.batch == "on"
+        assert decoded.snapshots == (None, {"origin_duration_s": 30.0})
+        assert decoded.emit_snapshots == (True, False)
+
+    def test_off_path_request_bytes_unchanged(self):
+        spec = ShardSpec(
+            key=shard_key(POLICY, CELLS[:1]),
+            cells=tuple(CELLS[:1]),
+            indices=(0,),
+            policy=POLICY,
+        )
+        message = protocol.encode_shard_request(spec)
+        for field in ("batch", "snapshots", "emit_snapshots"):
+            assert field not in message
+
+    def test_result_round_trip_carries_wall_and_snapshots(self):
+        result = run_cell(CELLS[2])
+        message = protocol.encode_shard_result(
+            "k", [result], None, snapshots=(None,), wall_s=1.25
+        )
+        decoded = protocol.decode_shard_result(
+            protocol.decode_message(protocol.encode_message(message))
+        )
+        assert decoded.wall_s == 1.25
+        assert decoded.snapshots == (None,)
+        assert run_digest(decoded.results[0]) == run_digest(result)
+
+
+class TestProfileReconciliation:
+    def test_lane_phases_measure_compute_not_waiting(self):
+        # Round compute is serialized through the conductor, so the sum
+        # of per-phase exclusive seconds across all lanes must stay close
+        # to the driver's wall time; without barrier-wait absorption it
+        # would approach K times the wall.
+        import time
+
+        profiler = profiling.enable()
+        try:
+            started = time.perf_counter()
+            with use_batching(ON):
+                run_cells_batched(CELLS)
+            wall = time.perf_counter() - started
+        finally:
+            profiling.disable()
+        total = profiler.total_s()
+        assert total > 0
+        assert total <= wall * 1.5, (
+            f"profiled {total:.3f}s vs wall {wall:.3f}s: lanes are "
+            "charging barrier waits to their phases"
+        )
+
+
+class TestSharingComposition:
+    def test_two_clusters_batch_bit_identically(self):
+        # S4 and S1 drift-cluster apart, so sharing+batching runs two
+        # cluster lanes in lockstep; every digest must match the
+        # sharing-only (sequential) execution.
+        fleet = [
+            SystemCell(
+                "DaCapo-Spatiotemporal", "resnet18_wrn50", "S4", s, 120.0
+            )
+            for s in range(2)
+        ] + [
+            SystemCell(
+                "DaCapo-Spatiotemporal", "resnet18_wrn50", "S1", s, 120.0
+            )
+            for s in range(2)
+        ]
+
+        def digests(batch):
+            spec = ShardSpec(
+                key=shard_key(POLICY, fleet),
+                cells=tuple(fleet),
+                indices=tuple(range(len(fleet))),
+                policy=POLICY,
+                sharing="cluster",
+                batch=batch,
+            )
+            results, _, _, snapshots, _ = execute_shard(spec)
+            assert snapshots is None
+            return [run_digest(result) for result in results]
+
+        assert digests("on") == digests("off")

@@ -109,7 +109,7 @@ class TestSharedPath:
             sharing="cluster",
         )
         with use_sharing(CLUSTER):
-            results, run_snapshot, cluster_state = run_spec_cells(spec)
+            results, run_snapshot, _, cluster_state = run_spec_cells(spec)
         assert run_snapshot is None and cluster_state is None
         computed = {
             cell_key(POLICY, cell): run_digest(result)
@@ -127,7 +127,7 @@ class TestSharedPath:
             emit_cluster_state=True,
         )
         with use_sharing(CLUSTER):
-            _, _, cluster_state = run_spec_cells(spec)
+            _, _, _, cluster_state = run_spec_cells(spec)
         assert cluster_state is not None
         assert cluster_state["cluster"] == "c0"
         assert cluster_state["counters"]["retrains_run"] > 0
